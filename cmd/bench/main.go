@@ -1,0 +1,99 @@
+// Command bench regenerates the paper's evaluation tables and figures
+// (Section 6). Each experiment prints the same series the paper plots;
+// EXPERIMENTS.md records the measured shapes against the paper's claims.
+//
+// Examples:
+//
+//	bench -list
+//	bench -exp fig9a
+//	bench -exp all -scale 0.5 -workers 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"bigdansing/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	var (
+		exp     = fs.String("exp", "", "experiment id (see -list), or 'all'")
+		list    = fs.Bool("list", false, "list experiments")
+		scale   = fs.Float64("scale", 1.0, "row-count scale factor")
+		workers = fs.Int("workers", 8, "simulated cluster size")
+		seed    = fs.Int64("seed", 1, "data generator seed")
+		csvDir  = fs.String("csv", "", "also write each table as CSV into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-18s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+	if *exp == "" {
+		fs.Usage()
+		return fmt.Errorf("-exp is required (or -list)")
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	runOne := func(id string) error {
+		cfg := experiments.Config{Workers: *workers, Seed: *seed, Scale: *scale, Out: os.Stdout}
+		for _, e := range experiments.All() {
+			if e.ID != id {
+				continue
+			}
+			tables, err := e.Run(cfg)
+			if err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+			for ti, t := range tables {
+				t.Print(os.Stdout)
+				if *csvDir != "" {
+					path := filepath.Join(*csvDir, fmt.Sprintf("%s_%d.csv", id, ti))
+					f, err := os.Create(path)
+					if err != nil {
+						return err
+					}
+					if err := t.WriteCSV(f); err != nil {
+						f.Close()
+						return err
+					}
+					if err := f.Close(); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+	if *exp != "all" {
+		return runOne(*exp)
+	}
+	for _, e := range experiments.All() {
+		t0 := time.Now()
+		if err := runOne(e.ID); err != nil {
+			return err
+		}
+		fmt.Printf("[%s finished in %v]\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,204 @@
+// Command bigdansing detects and repairs data quality violations in a CSV
+// dataset using declarative rules (FDs, DCs, CFDs) or the built-in dedup
+// UDF — the command-line face of the system in Figure 1.
+//
+// Examples:
+//
+//	bigdansing -input tax.csv -schema 'name,zipcode:int,city,state,salary:float,rate:float' \
+//	  -fd 'zipcode -> city' -mode detect
+//
+//	bigdansing -input tax.csv -schema '...' -fd 'zipcode -> city' \
+//	  -dc 't1.salary > t2.salary & t1.rate < t2.rate' \
+//	  -mode clean -out clean.csv -parallel-repair
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"bigdansing/internal/cleanse"
+	"bigdansing/internal/core"
+	"bigdansing/internal/engine"
+	"bigdansing/internal/model"
+	"bigdansing/internal/repair"
+	"bigdansing/internal/rules"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bigdansing:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bigdansing", flag.ContinueOnError)
+	var (
+		input    = fs.String("input", "", "input CSV file (required)")
+		schema   = fs.String("schema", "", "schema, e.g. 'name,zipcode:int,rate:float' (required)")
+		header   = fs.Bool("header", false, "input has a header row")
+		mode     = fs.String("mode", "detect", "detect | clean | explain")
+		outPath  = fs.String("out", "", "output CSV for the repaired data (clean mode)")
+		workers  = fs.Int("workers", 8, "parallelism of the dataflow backend")
+		algoName = fs.String("repair", "eq", "repair algorithm: eq (equivalence class) | hypergraph | sampling")
+		parallel = fs.Bool("parallel-repair", false, "use the parallel black-box repair (Section 5.1)")
+		maxIter  = fs.Int("max-iterations", 10, "bound on the detect-repair loop")
+		verbose  = fs.Bool("v", false, "print every violation")
+		vioOut   = fs.String("violations-out", "", "write the violation report (with possible fixes) to this CSV")
+	)
+	var fds, dcs, cfds, dedups multiFlag
+	fs.Var(&fds, "fd", "functional dependency, e.g. 'zipcode -> city' (repeatable)")
+	fs.Var(&dcs, "dc", "denial constraint, e.g. 't1.a > t2.a & t1.b < t2.b' (repeatable)")
+	fs.Var(&cfds, "cfd", "conditional FD, e.g. 'zip -> city | 90210 => LA ; _ => _' (repeatable)")
+	fs.Var(&dedups, "dedup", "dedup UDF as 'nameAttr[,phoneAttr]' (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *input == "" || *schema == "" {
+		fs.Usage()
+		return fmt.Errorf("-input and -schema are required")
+	}
+
+	sch := model.MustParseSchema(*schema)
+	rel, err := model.ReadCSVFile(*input, "input", sch, *header)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "loaded %d rows from %s\n", rel.Len(), *input)
+
+	var ruleSet []*core.Rule
+	for i, spec := range fds {
+		fd, err := rules.ParseFD(fmt.Sprintf("fd%d", i+1), spec)
+		if err != nil {
+			return err
+		}
+		r, err := fd.Compile(sch)
+		if err != nil {
+			return err
+		}
+		ruleSet = append(ruleSet, r)
+	}
+	for i, spec := range dcs {
+		dc, err := rules.ParseDC(fmt.Sprintf("dc%d", i+1), spec)
+		if err != nil {
+			return err
+		}
+		r, err := dc.Compile(sch)
+		if err != nil {
+			return err
+		}
+		ruleSet = append(ruleSet, r)
+	}
+	for i, spec := range cfds {
+		cfd, err := rules.ParseCFD(fmt.Sprintf("cfd%d", i+1), spec)
+		if err != nil {
+			return err
+		}
+		rs, err := cfd.Compile(sch)
+		if err != nil {
+			return err
+		}
+		ruleSet = append(ruleSet, rs...)
+	}
+	for i, spec := range dedups {
+		nameAttr, phoneAttr, _ := strings.Cut(spec, ",")
+		r, err := rules.DedupRule(rules.DedupConfig{
+			ID:        fmt.Sprintf("dedup%d", i+1),
+			NameAttr:  strings.TrimSpace(nameAttr),
+			PhoneAttr: strings.TrimSpace(phoneAttr),
+		}, sch)
+		if err != nil {
+			return err
+		}
+		ruleSet = append(ruleSet, r)
+	}
+	if len(ruleSet) == 0 {
+		return fmt.Errorf("no rules given; use -fd, -dc, -cfd or -dedup")
+	}
+
+	ctx := engine.New(*workers)
+	switch *mode {
+	case "explain":
+		lp, err := core.PlanRules(ruleSet, rel)
+		if err != nil {
+			return err
+		}
+		pp, err := core.Optimize(lp)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, pp.Explain())
+		return nil
+
+	case "detect":
+		res, err := core.DetectRules(ctx, ruleSet, rel)
+		if err != nil {
+			return err
+		}
+		byRule := map[string]int{}
+		for _, v := range res.Violations {
+			byRule[v.RuleID]++
+			if *verbose {
+				fmt.Fprintln(out, " ", v)
+			}
+		}
+		fmt.Fprintf(out, "violations: %d (possible fixes: %d)\n", len(res.Violations), len(res.AllFixes()))
+		for r, n := range byRule {
+			fmt.Fprintf(out, "  %-12s %d\n", r, n)
+		}
+		if *vioOut != "" {
+			if err := model.WriteViolationsFile(*vioOut, res.FixSets); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "violation report written to %s\n", *vioOut)
+		}
+		return nil
+
+	case "clean":
+		var algo repair.Algorithm
+		switch *algoName {
+		case "eq":
+			algo = &repair.EquivalenceClass{}
+		case "hypergraph":
+			algo = &repair.Hypergraph{}
+		case "sampling":
+			algo = &repair.Sampling{}
+		default:
+			return fmt.Errorf("unknown repair algorithm %q", *algoName)
+		}
+		cleaner := &cleanse.Cleaner{
+			Ctx:           ctx,
+			Rules:         ruleSet,
+			Algo:          algo,
+			Parallel:      *parallel,
+			MaxIterations: *maxIter,
+		}
+		res, err := cleaner.Clean(rel)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "iterations: %d\n", res.Iterations)
+		fmt.Fprintf(out, "violations: %d initially, %d remaining\n", res.InitialViolations, res.RemainingViolations)
+		fmt.Fprintf(out, "updates applied: %d (frozen cells: %d)\n", res.TotalAssignments, res.FrozenCells)
+		fmt.Fprintf(out, "detect time: %v, repair time: %v\n", res.DetectTime, res.RepairTime)
+		if *outPath != "" {
+			if err := model.WriteCSVFile(*outPath, res.Clean, *header); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "repaired data written to %s\n", *outPath)
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+}
+
+// multiFlag collects repeatable string flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, "; ") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const taxSchema = "name,zipcode:int,city,state,salary:float,rate:float"
+
+func writeTaxCSV(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tax.csv")
+	csv := "Annie,10011,NY,NY,24000,15\n" +
+		"Laure,90210,LA,CA,25000,10\n" +
+		"John,60601,CH,IL,40000,25\n" +
+		"Mark,90210,SF,CA,88000,28\n" +
+		"Robert,68270,CH,IL,15000,20\n" +
+		"Mary,90210,LA,CA,81000,28\n"
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDetectMode(t *testing.T) {
+	input := writeTaxCSV(t)
+	vioPath := filepath.Join(t.TempDir(), "violations.csv")
+	var out bytes.Buffer
+	err := run([]string{
+		"-input", input, "-schema", taxSchema,
+		"-fd", "zipcode -> city",
+		"-dc", "t1.salary > t2.salary & t1.rate < t2.rate",
+		"-mode", "detect",
+		"-violations-out", vioPath,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "loaded 6 rows") {
+		t.Errorf("output: %s", text)
+	}
+	if !strings.Contains(text, "violations: 5") {
+		t.Errorf("want 5 violations (2 fd + 3 dc): %s", text)
+	}
+	report, err := os.ReadFile(vioPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(report), "fd1") || !strings.Contains(string(report), "dc1") {
+		t.Error("violation report should name both rules")
+	}
+}
+
+func TestCleanMode(t *testing.T) {
+	input := writeTaxCSV(t)
+	outPath := filepath.Join(t.TempDir(), "clean.csv")
+	var out bytes.Buffer
+	err := run([]string{
+		"-input", input, "-schema", taxSchema,
+		"-fd", "zipcode -> city",
+		"-mode", "clean", "-out", outPath, "-parallel-repair",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "0 remaining") {
+		t.Errorf("clean output: %s", out.String())
+	}
+	cleaned, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All 90210 rows must now agree on one city.
+	lines := strings.Split(strings.TrimSpace(string(cleaned)), "\n")
+	cities := map[string]bool{}
+	for _, l := range lines {
+		if strings.Contains(l, "90210") {
+			cities[strings.Split(l, ",")[2]] = true
+		}
+	}
+	if len(cities) != 1 {
+		t.Errorf("90210 cities after repair: %v", cities)
+	}
+}
+
+func TestCleanModeHypergraph(t *testing.T) {
+	input := writeTaxCSV(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-input", input, "-schema", taxSchema,
+		"-dc", "t1.salary > t2.salary & t1.rate < t2.rate",
+		"-mode", "clean", "-repair", "hypergraph",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "0 remaining") {
+		t.Errorf("hypergraph clean: %s", out.String())
+	}
+}
+
+func TestCleanModeSampling(t *testing.T) {
+	input := writeTaxCSV(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-input", input, "-schema", taxSchema,
+		"-fd", "zipcode -> city",
+		"-mode", "clean", "-repair", "sampling",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "0 remaining") {
+		t.Errorf("sampling clean: %s", out.String())
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	input := writeTaxCSV(t)
+	var out bytes.Buffer
+	if err := run([]string{"-schema", taxSchema, "-fd", "a -> b"}, &out); err == nil {
+		t.Error("missing -input should fail")
+	}
+	if err := run([]string{"-input", input, "-schema", taxSchema}, &out); err == nil {
+		t.Error("no rules should fail")
+	}
+	if err := run([]string{"-input", input, "-schema", taxSchema, "-fd", "bad spec"}, &out); err == nil {
+		t.Error("bad FD should fail")
+	}
+	if err := run([]string{"-input", input, "-schema", taxSchema, "-fd", "zipcode -> city", "-mode", "bogus"}, &out); err == nil {
+		t.Error("bad mode should fail")
+	}
+	if err := run([]string{"-input", input, "-schema", taxSchema, "-fd", "zipcode -> city", "-mode", "clean", "-repair", "bogus"}, &out); err == nil {
+		t.Error("bad repair algorithm should fail")
+	}
+}
+
+func TestExplainMode(t *testing.T) {
+	input := writeTaxCSV(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-input", input, "-schema", taxSchema,
+		"-fd", "zipcode -> city",
+		"-dc", "t1.salary > t2.salary & t1.rate < t2.rate",
+		"-mode", "explain",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "UCrossProduct") {
+		t.Errorf("FD plan should use UCrossProduct: %s", text)
+	}
+	if !strings.Contains(text, "OCJoin") {
+		t.Errorf("DC plan should use OCJoin: %s", text)
+	}
+}
+
+func TestDedupFlag(t *testing.T) {
+	input := writeTaxCSV(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-input", input, "-schema", taxSchema,
+		"-dedup", "name",
+		"-mode", "detect",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "violations:") {
+		t.Errorf("dedup output: %s", out.String())
+	}
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenerateEachDataset(t *testing.T) {
+	for _, ds := range []string{"taxa", "taxb", "tpch", "customer1", "customer2", "ncvoter", "hai"} {
+		dir := t.TempDir()
+		out := filepath.Join(dir, ds+".csv")
+		clean := filepath.Join(dir, ds+"_clean.csv")
+		err := run([]string{
+			"-dataset", ds, "-rows", "200", "-error", "0.1", "-seed", "3",
+			"-out", out, "-clean-out", clean,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", ds, err)
+		}
+		raw, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatalf("%s: %v", ds, err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+		if len(lines) < 100 {
+			t.Errorf("%s: only %d lines", ds, len(lines))
+		}
+		if _, err := os.Stat(clean); err != nil {
+			t.Errorf("%s: clean output missing", ds)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if err := run([]string{"-dataset", "taxa"}); err == nil {
+		t.Error("missing -out should fail")
+	}
+	if err := run([]string{"-dataset", "bogus", "-out", filepath.Join(t.TempDir(), "x.csv")}); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+}

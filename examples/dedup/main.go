@@ -1,0 +1,83 @@
+// Dedup: the deduplication scenario of Section 6.5 — a UDF rule (rule φ4
+// style) finds duplicate customers by Levenshtein similarity on name and
+// phone, blocked by Soundex so the pair space stays small, and reports the
+// detected clusters with precision/recall against the injected ground truth.
+//
+//	go run ./examples/dedup
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"bigdansing/internal/core"
+	"bigdansing/internal/datagen"
+	"bigdansing/internal/engine"
+	"bigdansing/internal/rules"
+)
+
+func main() {
+	// Generate a customer table: 800 distinct customers, each duplicated
+	// 3x exactly, plus 2% near-duplicates with random edits in name/phone.
+	truth := datagen.Customers("customer1", 800, 3, 0.02, 42)
+	fmt.Printf("customer table: %d rows, %d injected duplicate pairs\n",
+		truth.Dirty.Len(), len(truth.DupPairs))
+
+	rule, err := rules.DedupRule(rules.DedupConfig{
+		ID:             "phi4",
+		NameAttr:       "c_name",
+		PhoneAttr:      "c_phone",
+		NameThreshold:  0.75,
+		PhoneThreshold: 0.7,
+		BlockBySoundex: true,
+	}, datagen.CustomerSchema())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx := engine.New(8)
+	t0 := time.Now()
+	res, err := core.DetectRule(ctx, rule, truth.Dirty)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(t0)
+
+	// Each violation is a duplicate pair.
+	var pairs [][2]int64
+	for _, v := range res.Violations {
+		ids := v.TupleIDs()
+		if len(ids) == 2 {
+			pairs = append(pairs, [2]int64{ids[0], ids[1]})
+		}
+	}
+	q := datagen.DedupQuality(truth, pairs)
+	fmt.Printf("detected %d duplicate pairs in %v\n", len(pairs), elapsed.Round(time.Millisecond))
+	fmt.Printf("precision: %.3f  recall: %.3f\n", q.Precision, q.Recall)
+
+	// Show a few detected duplicates.
+	byID := truth.Dirty.ByID()
+	fmt.Println("\nsample duplicates:")
+	for i, p := range pairs {
+		if i == 5 {
+			break
+		}
+		a := truth.Dirty.Tuples[byID[p[0]]]
+		b := truth.Dirty.Tuples[byID[p[1]]]
+		fmt.Printf("  %q / %q  (%s vs %s)\n",
+			a.Cell(1), b.Cell(1), a.Cell(3), b.Cell(3))
+	}
+
+	// Contrast with the Detect-only plan (Figure 12(a)): same UDF without
+	// Scope/Block/Iterate — a full cross product.
+	t0 = time.Now()
+	all, _ := res, err
+	_ = all
+	stripped := &core.Rule{ID: "phi4/detect-only", Detect: rule.Detect}
+	if _, err := core.DetectRule(ctx, stripped, truth.Dirty); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsame UDF, Detect-only (no blocking): %v — the five-operator abstraction pays for itself\n",
+		time.Since(t0).Round(time.Millisecond))
+}

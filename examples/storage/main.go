@@ -1,0 +1,98 @@
+// Storage: the Appendix F data storage manager — upload a dataset in
+// columnar binary layout with heterogeneous replicas (one partitioned per
+// blocking key), then detect violations with the Block operator pushed
+// down to the storage layer, so no partition needs data from another.
+//
+//	go run ./examples/storage
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"bigdansing/internal/core"
+	"bigdansing/internal/datagen"
+	"bigdansing/internal/engine"
+	"bigdansing/internal/rules"
+	"bigdansing/internal/storage"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "bigdansing-store-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	st, err := storage.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Generate HAI-style hospital data and upload three replicas, each
+	// content-partitioned on a different attribute — the heterogeneous
+	// replication of Appendix F, letting different rules each find a
+	// replica partitioned on their blocking key.
+	truth := datagen.HAI(20000, 0.1, 11)
+	for _, attr := range []string{"zip", "phone", ""} {
+		plan, err := st.Upload(truth.Dirty, attr, 16)
+		if err != nil {
+			log.Fatal(err)
+		}
+		name := attr
+		if name == "" {
+			name = "(round robin)"
+		}
+		fmt.Printf("uploaded replica partitioned on %-14s %d rows, %d partitions\n",
+			name, plan.Rows, plan.Partitions)
+	}
+	reps, _ := st.Replicas("hai")
+	fmt.Printf("replicas on disk: %v\n\n", reps)
+
+	// Scope pushdown: read just two columns.
+	cols, err := st.Read("hai", "zip", storage.ReadOptions{Columns: []string{"zip", "state"}, Partition: -1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scope pushdown read: %d rows x %d columns (schema: %s)\n\n",
+		cols.Len(), cols.Schema.Len(), cols.Schema)
+
+	// Block pushdown: phi6 (zip -> state) blocks on zip; the zip replica
+	// lets every partition be cleaned independently.
+	fd, err := rules.ParseFD("phi6", "zip -> state")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rule, err := fd.Compile(datagen.HAISchema())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := engine.New(8)
+
+	t0 := time.Now()
+	res, pushed, err := core.DetectRuleFromStore(ctx, st, "hai", rule)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("detection with Block pushdown=%v: %d violations in %v\n",
+		pushed, len(res.Violations), time.Since(t0).Round(time.Millisecond))
+
+	// Compare with reading the whole dataset and shuffling.
+	full, err := st.Read("hai", "", storage.ReadOptions{Partition: -1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t0 = time.Now()
+	plain, err := core.DetectRule(ctx, rule, full)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("detection with full read + shuffle:  %d violations in %v\n",
+		len(plain.Violations), time.Since(t0).Round(time.Millisecond))
+	if len(plain.Violations) != len(res.Violations) {
+		log.Fatalf("pushdown and plain detection disagree: %d vs %d",
+			len(res.Violations), len(plain.Violations))
+	}
+	fmt.Println("\nboth paths found the same violations; the pushdown avoided the global shuffle")
+}

@@ -1,0 +1,3 @@
+module bigdansing
+
+go 1.22

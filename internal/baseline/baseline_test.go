@@ -1,0 +1,149 @@
+package baseline
+
+import (
+	"testing"
+
+	"bigdansing/internal/core"
+	"bigdansing/internal/datagen"
+	"bigdansing/internal/engine"
+	"bigdansing/internal/rules"
+)
+
+func fdRule(t *testing.T) *core.Rule {
+	t.Helper()
+	fd, err := rules.ParseFD("phi1", "zipcode -> city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rule, err := fd.Compile(datagen.TaxSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rule
+}
+
+func dcRule(t *testing.T) *core.Rule {
+	t.Helper()
+	dc, err := rules.ParseDC("phi2", "t1.rate > t2.rate & t1.salary < t2.salary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rule, err := dc.Compile(datagen.TaxSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rule
+}
+
+func TestAllBaselinesAgreeWithBigDansingOnFD(t *testing.T) {
+	NadeefQueryLatency = 0
+	tr := datagen.TaxA(400, 0.1, 11)
+	ctx := engine.New(4)
+	rule := fdRule(t)
+
+	bd, err := core.DetectRule(ctx, rule, tr.Dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(bd.Violations)
+	if want == 0 {
+		t.Fatal("expected violations in dirty TaxA")
+	}
+
+	nadeef, err := NadeefDetect(rule, tr.Dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nadeef.UniqueViolations(); got != want {
+		t.Errorf("NADEEF unique violations = %d, BigDansing = %d", got, want)
+	}
+
+	for _, mode := range []SQLMode{Postgres, SparkSQL, Shark} {
+		sq, err := SQLDetect(ctx, mode, rule, tr.Dirty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sq.UniqueViolations(); got != want {
+			t.Errorf("%s unique violations = %d, BigDansing = %d", mode, got, want)
+		}
+		// SQL self joins reach each pair in both orientations: raw count
+		// doubles (the duplicate-violation effect of Section 6.2).
+		if len(sq.Violations) != 2*want {
+			t.Errorf("%s raw violations = %d, want %d (duplicates)", mode, len(sq.Violations), 2*want)
+		}
+	}
+}
+
+func TestBaselinesAgreeOnInequalityDC(t *testing.T) {
+	NadeefQueryLatency = 0
+	tr := datagen.TaxB(150, 0.1, 12)
+	ctx := engine.New(4)
+	rule := dcRule(t)
+
+	bd, err := core.DetectRule(ctx, rule, tr.Dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(bd.Violations)
+	if want == 0 {
+		t.Fatal("expected phi2 violations in dirty TaxB")
+	}
+
+	nadeef, err := NadeefDetect(rule, tr.Dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nadeef.UniqueViolations(); got != want {
+		t.Errorf("NADEEF = %d, BigDansing = %d", got, want)
+	}
+	for _, mode := range []SQLMode{Postgres, SparkSQL, Shark} {
+		sq, err := SQLDetect(ctx, mode, rule, tr.Dirty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sq.UniqueViolations(); got != want {
+			t.Errorf("%s = %d, BigDansing = %d", mode, got, want)
+		}
+	}
+}
+
+func TestDetectOnlyMatchesFullAPIViolations(t *testing.T) {
+	tr := datagen.TaxA(120, 0.1, 13)
+	ctx := engine.New(4)
+	rule := fdRule(t)
+	full, err := core.DetectRule(ctx, rule, tr.Dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	only, err := DetectOnly(ctx, rule, tr.Dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(only.Violations) != len(full.Violations) {
+		t.Errorf("detect-only = %d, full = %d", len(only.Violations), len(full.Violations))
+	}
+}
+
+func TestUnaryRuleBaselines(t *testing.T) {
+	NadeefQueryLatency = 0
+	tr := datagen.TaxA(100, 0, 14)
+	ctx := engine.New(2)
+	dc, _ := rules.ParseDC("cap", "t1.salary > 150000")
+	rule, err := dc.Compile(datagen.TaxSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd, _ := core.DetectRule(ctx, rule, tr.Dirty)
+	nd, err := NadeefDetect(rule, tr.Dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq, err := SQLDetect(ctx, Postgres, rule, tr.Dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nd.UniqueViolations() != len(bd.Violations) || sq.UniqueViolations() != len(bd.Violations) {
+		t.Errorf("unary counts: nadeef %d, sql %d, bigdansing %d",
+			nd.UniqueViolations(), sq.UniqueViolations(), len(bd.Violations))
+	}
+}

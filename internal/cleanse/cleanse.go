@@ -1,0 +1,211 @@
+// Package cleanse orchestrates the full BigDansing pipeline of Figure 1:
+// the RuleEngine detects violations and possible fixes, the repair
+// algorithm chooses updates, the updates are applied, and the loop repeats
+// until a repair (an instance with no violations, or only violations
+// without possible fixes) is reached. Termination is guaranteed by the
+// freezing device of Section 2.2: after a configurable number of updates, a
+// cell is pinned and future violations that can only be fixed through it
+// are abandoned.
+package cleanse
+
+import (
+	"fmt"
+	"time"
+
+	"bigdansing/internal/core"
+	"bigdansing/internal/engine"
+	"bigdansing/internal/model"
+	"bigdansing/internal/repair"
+)
+
+// Cleaner couples a rule set with a repair algorithm over one dataflow
+// context.
+type Cleaner struct {
+	// Ctx is the dataflow context detection runs on.
+	Ctx *engine.Context
+	// Rules are detected together (one consolidated plan).
+	Rules []*core.Rule
+	// Algo is the repair algorithm; nil defaults to the equivalence-class
+	// algorithm.
+	Algo repair.Algorithm
+	// Parallel uses the black-box parallel repair of Section 5.1; false
+	// runs the algorithm centralized over all violations, the baseline of
+	// Figure 12(b).
+	Parallel bool
+	// RepairOpts configure the parallel repair.
+	RepairOpts repair.Options
+	// MaxIterations bounds the detect-repair loop (<=0: 10).
+	MaxIterations int
+	// FreezeAfter pins a cell after this many updates (<=0: 3).
+	FreezeAfter int
+	// Incremental re-detects only the blocks touched by the previous
+	// iteration's repairs (rules that do not support block-incremental
+	// maintenance re-run in full). The result is identical; later
+	// iterations get cheaper.
+	Incremental bool
+}
+
+// Result reports one cleansing run.
+type Result struct {
+	// Clean is the repaired instance (the input is not modified).
+	Clean *model.Relation
+	// Iterations is the number of detect-repair rounds executed.
+	Iterations int
+	// InitialViolations and RemainingViolations bracket the run.
+	InitialViolations   int
+	RemainingViolations int
+	// FrozenCells counts cells pinned by the termination device.
+	FrozenCells int
+	// TotalAssignments counts applied updates across iterations.
+	TotalAssignments int
+	// DetectTime and RepairTime split the wall time (Figure 8(b)).
+	DetectTime time.Duration
+	RepairTime time.Duration
+	// Reports holds the per-iteration parallel repair reports.
+	Reports []*repair.Report
+}
+
+// Clean runs the iterative cleansing process on a copy of rel.
+func (c *Cleaner) Clean(rel *model.Relation) (*Result, error) {
+	if len(c.Rules) == 0 {
+		return nil, fmt.Errorf("cleanse: no rules")
+	}
+	algo := c.Algo
+	if algo == nil {
+		algo = &repair.EquivalenceClass{}
+	}
+	maxIter := c.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 10
+	}
+	freezeAfter := c.FreezeAfter
+	if freezeAfter <= 0 {
+		freezeAfter = 3
+	}
+
+	work := rel.Clone()
+	res := &Result{Clean: work}
+	frozen := map[string]bool{}
+	updates := map[string]int{}
+
+	var incDet *core.IncrementalDetector
+	if c.Incremental {
+		d, err := core.NewIncrementalDetector(c.Ctx, c.Rules)
+		if err != nil {
+			return nil, err
+		}
+		incDet = d
+	}
+	var changed []int64 // nil forces a full first pass
+
+	for iter := 0; iter < maxIter; iter++ {
+		t0 := time.Now()
+		var det *core.DetectResult
+		var err error
+		if incDet != nil {
+			det, err = incDet.Detect(work, changed)
+		} else {
+			det, err = core.DetectRules(c.Ctx, c.Rules, work)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("cleanse: detection (iteration %d): %w", iter+1, err)
+		}
+		res.DetectTime += time.Since(t0)
+		if iter == 0 {
+			res.InitialViolations = len(det.Violations)
+		}
+		res.Iterations = iter + 1
+
+		// Drop violations whose every fix touches a frozen cell: they have
+		// no usable possible fixes anymore (Section 2.2's stopping rule).
+		actionable := det.FixSets[:0:0]
+		remaining := 0
+		for _, fs := range det.FixSets {
+			if len(fs.Fixes) == 0 {
+				remaining++ // detection-only violation: reported, not repairable
+				continue
+			}
+			usable := false
+			for _, f := range fs.Fixes {
+				ok := true
+				for _, cell := range f.Cells() {
+					if frozen[cell.Key()] {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					usable = true
+					break
+				}
+			}
+			if usable {
+				actionable = append(actionable, fs)
+			} else {
+				remaining++
+			}
+		}
+		if len(actionable) == 0 {
+			res.RemainingViolations = remaining
+			res.FrozenCells = len(frozen)
+			return res, nil
+		}
+
+		t1 := time.Now()
+		var assignments []repair.Assignment
+		if c.Parallel {
+			as, rep, err := repair.RepairParallel(actionable, algo, c.RepairOpts)
+			if err != nil {
+				return nil, fmt.Errorf("cleanse: parallel repair (iteration %d): %w", iter+1, err)
+			}
+			assignments = as
+			res.Reports = append(res.Reports, rep)
+		} else {
+			as, err := algo.Repair(actionable)
+			if err != nil {
+				return nil, fmt.Errorf("cleanse: repair (iteration %d): %w", iter+1, err)
+			}
+			assignments = as
+		}
+		res.RepairTime += time.Since(t1)
+
+		applied := repair.Apply(work, assignments, frozen)
+		res.TotalAssignments += applied
+		changed = changed[:0]
+		seenChanged := map[int64]bool{}
+		for _, a := range assignments {
+			k := a.Key()
+			if !frozen[k] && !seenChanged[a.TupleID] {
+				seenChanged[a.TupleID] = true
+				changed = append(changed, a.TupleID)
+			}
+			if frozen[k] {
+				continue
+			}
+			updates[k]++
+			if updates[k] >= freezeAfter {
+				frozen[k] = true
+			}
+		}
+		if applied == 0 {
+			// The algorithm proposed nothing applicable; freeze the cells
+			// of the remaining fixes to guarantee forward progress.
+			for _, fs := range actionable {
+				for _, f := range fs.Fixes {
+					for _, cell := range f.Cells() {
+						frozen[cell.Key()] = true
+					}
+				}
+			}
+		}
+	}
+
+	// Out of iterations: report what is left.
+	det, err := core.DetectRules(c.Ctx, c.Rules, work)
+	if err != nil {
+		return nil, err
+	}
+	res.RemainingViolations = len(det.Violations)
+	res.FrozenCells = len(frozen)
+	return res, nil
+}

@@ -1,0 +1,57 @@
+package cleanse
+
+import (
+	"testing"
+
+	"bigdansing/internal/core"
+	"bigdansing/internal/engine"
+	"bigdansing/internal/mapred"
+	"bigdansing/internal/repair"
+)
+
+// TestCleanWithDistributedEquivalenceClass runs the full cleansing loop
+// with the natively distributed equivalence-class algorithm (Section 5.2)
+// plugged in as the repair algorithm, inside the parallel black-box
+// wrapper — the full distributed stack of the paper.
+func TestCleanWithDistributedEquivalenceClass(t *testing.T) {
+	eng, err := mapred.New(t.TempDir(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	rel := dirtyTax(8, 8, 2)
+	cleaner := &Cleaner{
+		Ctx:      engine.New(4),
+		Rules:    []*core.Rule{fdZipCity(t, rel)},
+		Algo:     &repair.DistributedEquivalenceClass{Engine: eng, Splits: 4, Reduces: 4},
+		Parallel: true,
+	}
+	res, err := cleaner.Clean(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemainingViolations != 0 {
+		t.Fatalf("remaining = %d", res.RemainingViolations)
+	}
+
+	// Must produce the same clean instance as the centralized algorithm.
+	centralized := &Cleaner{
+		Ctx:   engine.New(4),
+		Rules: []*core.Rule{fdZipCity(t, rel)},
+		Algo:  &repair.EquivalenceClass{},
+	}
+	want, err := centralized.Clean(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Clean.Tuples {
+		if !want.Clean.Tuples[i].Cell(2).Equal(res.Clean.Tuples[i].Cell(2)) {
+			t.Errorf("tuple %d: distributed %v vs centralized %v",
+				i, res.Clean.Tuples[i].Cell(2), want.Clean.Tuples[i].Cell(2))
+		}
+	}
+	if res.Iterations != want.Iterations {
+		t.Errorf("iterations: distributed %d vs centralized %d", res.Iterations, want.Iterations)
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+
+	"bigdansing/internal/engine"
+	"bigdansing/internal/mapred"
+	"bigdansing/internal/model"
+)
+
+// TestMapReduceCoBlockParity runs a CoBlock rule (doubly-keyed self join)
+// through both backends and compares results.
+func TestMapReduceCoBlockParity(t *testing.T) {
+	s := model.MustParseSchema("c_name,c_city,s_name,s_city")
+	rel := model.NewRelation("cs", s)
+	rel.Append(
+		model.NewTuple(1, model.S("acme"), model.S("NY"), model.S("zenith"), model.S("LA")),
+		model.NewTuple(2, model.S("zenith"), model.S("SF"), model.S("acme"), model.S("NY")),
+		model.NewTuple(3, model.S("orbit"), model.S("CH"), model.S("orbit"), model.S("CH")),
+		model.NewTuple(4, model.S("nova"), model.S("SE"), model.S("nova"), model.S("PD")),
+	)
+	r := &Rule{
+		ID:         "dc1",
+		Block:      func(tp model.Tuple) string { return tp.Cell(0).Key() }, // c_name
+		BlockRight: func(tp model.Tuple) string { return tp.Cell(2).Key() }, // s_name
+		Detect: func(it Item) []model.Violation {
+			c, sup := it.Left(), it.Right()
+			if c.Cell(0).Equal(sup.Cell(2)) && !c.Cell(1).Equal(sup.Cell(3)) {
+				return []model.Violation{model.NewViolation("dc1",
+					model.NewCell(c.ID, 1, "c_city", c.Cell(1)),
+					model.NewCell(sup.ID, 3, "s_city", sup.Cell(3)))}
+			}
+			return nil
+		},
+	}
+	ctx := engine.New(4)
+	sparkRes, err := DetectRule(ctx, r, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := mapred.New(t.TempDir(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	mrRes, err := DetectRuleMapReduce(eng, r, rel, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mrRes.Violations) != len(sparkRes.Violations) {
+		t.Fatalf("MR %d vs dataflow %d violations", len(mrRes.Violations), len(sparkRes.Violations))
+	}
+	keys := map[string]bool{}
+	for _, v := range sparkRes.Violations {
+		keys[v.Key()] = true
+	}
+	for _, v := range mrRes.Violations {
+		if !keys[v.Key()] {
+			t.Errorf("MR-only violation %v", v)
+		}
+	}
+}
+
+// TestMapReduceUnaryRule runs a unary rule through the MapReduce backend.
+func TestMapReduceUnaryRule(t *testing.T) {
+	rel := exampleTax()
+	r := &Rule{
+		ID:    "cap",
+		Unary: true,
+		Detect: func(it Item) []model.Violation {
+			tp := it.One()
+			if tp.Cell(4).Float() > 85000 {
+				return []model.Violation{model.NewViolation("cap",
+					model.NewCell(tp.ID, 4, "salary", tp.Cell(4)))}
+			}
+			return nil
+		},
+	}
+	eng, err := mapred.New(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	res, err := DetectRuleMapReduce(eng, r, rel, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 1 || res.Violations[0].Cells[0].TupleID != 4 {
+		t.Fatalf("violations = %v", res.Violations)
+	}
+}
+
+// TestMapReduceScopeRuns verifies Scope executes inside the map phase.
+func TestMapReduceScopeRuns(t *testing.T) {
+	rel := exampleTax()
+	r := fdRule()
+	// Scope that drops California rows entirely: the two CA violations of
+	// phiF disappear.
+	r.Scope = func(tp model.Tuple) []model.Tuple {
+		if tp.Cell(3).String() == "CA" {
+			return nil
+		}
+		return []model.Tuple{tp}
+	}
+	eng, err := mapred.New(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	res, err := DetectRuleMapReduce(eng, r, rel, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("scoped-out violations still detected: %v", res.Violations)
+	}
+}
+
+// TestMapReduceDetectPanic surfaces a Detect panic from inside a reducer.
+func TestMapReduceDetectPanic(t *testing.T) {
+	rel := exampleTax()
+	r := fdRule()
+	r.Detect = func(Item) []model.Violation { panic("reducer boom") }
+	eng, err := mapred.New(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := DetectRuleMapReduce(eng, r, rel, 2, 2); err == nil {
+		t.Fatal("detect panic should surface")
+	}
+}

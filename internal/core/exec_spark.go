@@ -1,0 +1,376 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+
+	"bigdansing/internal/engine"
+	"bigdansing/internal/join"
+	"bigdansing/internal/model"
+)
+
+// DetectResult is the output of running a plan's detection stage: the
+// deduplicated violations and, per violation, its possible fixes.
+type DetectResult struct {
+	Violations []model.Violation
+	FixSets    []model.FixSet
+}
+
+// NumViolations returns the violation count.
+func (r *DetectResult) NumViolations() int { return len(r.Violations) }
+
+// AllFixes flattens every possible fix.
+func (r *DetectResult) AllFixes() []model.Fix {
+	var out []model.Fix
+	for _, fs := range r.FixSets {
+		out = append(out, fs.Fixes...)
+	}
+	return out
+}
+
+// Merge appends another result (used when accumulating over plans).
+func (r *DetectResult) Merge(o *DetectResult) {
+	r.Violations = append(r.Violations, o.Violations...)
+	r.FixSets = append(r.FixSets, o.FixSets...)
+}
+
+// RunPlanSpark executes the physical plan's detection pipelines on the
+// in-memory dataflow backend (Appendix G.1's translation): Scope becomes
+// map/filter, Block becomes groupByKey, CoBlock becomes cogroup, Iterate
+// becomes the chosen pair enumeration (or OCJoin), Detect and GenFix become
+// flat maps. Violations are deduplicated on their canonical key, matching
+// the paper's observation that BigDansing, unlike SQL self-joins, does not
+// emit duplicate violations.
+func RunPlanSpark(ctx *engine.Context, pp *PhysicalPlan) (*DetectResult, error) {
+	ex := &sparkExec{
+		ctx:    ctx,
+		base:   make(map[*model.Relation]*engine.Dataset[model.Tuple]),
+		scoped: make(map[scanKey]*engine.Dataset[model.Tuple]),
+	}
+	result := &DetectResult{}
+	for i := range pp.Pipelines {
+		if err := ex.runPipeline(pp, &pp.Pipelines[i], result); err != nil {
+			return nil, err
+		}
+	}
+	dedupeResult(result)
+	return result, nil
+}
+
+// scanKey identifies a consolidated scoped scan: same dataset (labels over
+// one relation resolve to the same scan) + same scope chain ⇒ one
+// materialization (Algorithm 1's effect at execution time).
+type scanKey struct {
+	rel    *model.Relation
+	scopes [4]uintptr // first scopes' fn pointers; enough to discriminate
+}
+
+type sparkExec struct {
+	ctx    *engine.Context
+	base   map[*model.Relation]*engine.Dataset[model.Tuple]
+	scoped map[scanKey]*engine.Dataset[model.Tuple]
+}
+
+func (ex *sparkExec) dataset(pp *PhysicalPlan, name string) (*engine.Dataset[model.Tuple], error) {
+	rel, ok := pp.Logical.Inputs[name]
+	if !ok {
+		return nil, fmt.Errorf("core: plan %s references unknown dataset %q", pp.Name, name)
+	}
+	if d, ok := ex.base[rel]; ok {
+		return d, nil
+	}
+	d := engine.Parallelize(ex.ctx, rel.Tuples, 0)
+	ex.base[rel] = d
+	return d, nil
+}
+
+// branchStream materializes a branch's scoped stream, sharing consolidated
+// scans across branches and pipelines. Derived branches (an upstream
+// Iterate's output, Figure 4) are computed by running that Iterate and
+// flattening its items back to data units.
+func (ex *sparkExec) branchStream(pp *PhysicalPlan, b Branch) (*engine.Dataset[model.Tuple], error) {
+	if b.Derived != nil {
+		items, err := ex.iterateItems(pp, b.Derived.Iterate, b.Derived.Branches)
+		if err != nil {
+			return nil, err
+		}
+		d := engine.FlatMap(items, func(it Item) []model.Tuple { return it.Tuples })
+		for _, s := range b.Scopes {
+			scope := s
+			d = engine.FlatMap(d, func(t model.Tuple) []model.Tuple { return scope(t) })
+		}
+		if err := d.Err(); err != nil {
+			return nil, fmt.Errorf("core: derived stream %s failed: %w", b.Label, err)
+		}
+		return d, nil
+	}
+	key := scanKey{rel: pp.Logical.Inputs[b.Dataset]}
+	for i, s := range b.Scopes {
+		if i >= len(key.scopes) {
+			break
+		}
+		key.scopes[i] = reflect.ValueOf(s).Pointer()
+	}
+	if d, ok := ex.scoped[key]; ok {
+		return d, nil
+	}
+	d, err := ex.dataset(pp, b.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range b.Scopes {
+		scope := s
+		d = engine.FlatMap(d, func(t model.Tuple) []model.Tuple { return scope(t) })
+	}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("core: Scope failed: %w", err)
+	}
+	ex.scoped[key] = d
+	return d, nil
+}
+
+// iterateItems runs a user Iterate over its branch streams: co-grouped
+// when both of two branches are keyed, blockwise for one keyed branch, and
+// once over the materialized bags otherwise.
+func (ex *sparkExec) iterateItems(pp *PhysicalPlan, iterate IterateFunc, branches []Branch) (*engine.Dataset[Item], error) {
+	switch {
+	case len(branches) >= 2 && branches[0].Block != nil && branches[1].Block != nil:
+		cg, err := ex.coGroupBranches(pp, branches)
+		if err != nil {
+			return nil, err
+		}
+		return engine.FlatMap(cg, func(g engine.Pair[string, engine.CoGrouped[model.Tuple, model.Tuple]]) []Item {
+			return iterate([][]model.Tuple{g.Value.Left, g.Value.Right})
+		}), nil
+	case len(branches) >= 2:
+		// At least one side unkeyed: materialize every bag and run the
+		// Iterate once over them.
+		bags := make([][]model.Tuple, len(branches))
+		for i, b := range branches {
+			s, err := ex.branchStream(pp, b)
+			if err != nil {
+				return nil, err
+			}
+			all, err := s.Collect()
+			if err != nil {
+				return nil, err
+			}
+			bags[i] = all
+		}
+		return engine.Parallelize(ex.ctx, iterate(bags), 0), nil
+	default:
+		first, err := ex.branchStream(pp, branches[0])
+		if err != nil {
+			return nil, err
+		}
+		if branches[0].Block != nil {
+			grouped := ex.blocks(first, branches[0].Block)
+			return engine.FlatMap(grouped, func(g engine.Pair[string, []model.Tuple]) []Item {
+				return iterate([][]model.Tuple{g.Value})
+			}), nil
+		}
+		all, err := first.Collect()
+		if err != nil {
+			return nil, err
+		}
+		return engine.Parallelize(ex.ctx, iterate([][]model.Tuple{all}), 0), nil
+	}
+}
+
+// blocks groups a branch stream by its Block key.
+func (ex *sparkExec) blocks(d *engine.Dataset[model.Tuple], block BlockFunc) *engine.Dataset[engine.Pair[string, []model.Tuple]] {
+	keyed := engine.KeyBy(d, func(t model.Tuple) string { return block(t) })
+	return engine.GroupByKey(keyed)
+}
+
+func (ex *sparkExec) runPipeline(pp *PhysicalPlan, p *PhysicalPipeline, out *DetectResult) error {
+	items, err := ex.items(pp, p)
+	if err != nil {
+		return err
+	}
+	detect := p.Detect
+	violations := engine.FlatMap(items, func(it Item) []model.Violation { return detect(it) })
+	if err := violations.Err(); err != nil {
+		return fmt.Errorf("core: Detect failed in %s: %w", p.RuleID, err)
+	}
+	// Dedup violations (BigDansing emits each violation once). OCJoin,
+	// unique pairs and single-unit enumeration produce each candidate once
+	// by construction, so only the both-orientation enumerations pay the
+	// dedup shuffle.
+	switch p.Impl {
+	case IterOrderedPairs, IterCoBlockPairs, IterCustom:
+		violations = engine.Distinct(violations, func(v model.Violation) string { return v.Key() })
+	}
+	if p.GenFix != nil {
+		genfix := p.GenFix
+		fixSets := engine.Map(violations, func(v model.Violation) model.FixSet {
+			return model.FixSet{Violation: v, Fixes: genfix(v)}
+		})
+		sets, err := fixSets.Collect()
+		if err != nil {
+			return fmt.Errorf("core: GenFix failed in %s: %w", p.RuleID, err)
+		}
+		for _, fs := range sets {
+			out.Violations = append(out.Violations, fs.Violation)
+			out.FixSets = append(out.FixSets, fs)
+		}
+		return nil
+	}
+	vs, err := violations.Collect()
+	if err != nil {
+		return err
+	}
+	for _, v := range vs {
+		out.Violations = append(out.Violations, v)
+		out.FixSets = append(out.FixSets, model.FixSet{Violation: v})
+	}
+	return nil
+}
+
+// items produces the candidate items of a pipeline under its chosen
+// physical Iterate implementation.
+func (ex *sparkExec) items(pp *PhysicalPlan, p *PhysicalPipeline) (*engine.Dataset[Item], error) {
+	// The CoBlock and custom-Iterate paths pull their own branch streams.
+	if p.Impl == IterCoBlockPairs {
+		cg, err := ex.coGroupBranches(pp, p.Branches)
+		if err != nil {
+			return nil, err
+		}
+		return engine.FlatMap(cg, func(g engine.Pair[string, engine.CoGrouped[model.Tuple, model.Tuple]]) []Item {
+			return PairsAcross([][]model.Tuple{g.Value.Left, g.Value.Right})
+		}), nil
+	}
+	if p.Impl == IterCustom {
+		return ex.iterateItems(pp, p.Iterate, p.Branches)
+	}
+	first, err := ex.branchStream(pp, p.Branches[0])
+	if err != nil {
+		return nil, err
+	}
+	switch p.Impl {
+	case IterSingles:
+		return engine.Map(first, Single), nil
+
+	case IterOCJoin:
+		pairs, err := join.OCJoin(first, p.OrderConds, p.NumParts)
+		if err != nil {
+			return nil, fmt.Errorf("core: OCJoin in %s: %w", p.RuleID, err)
+		}
+		return engine.Map(pairs, func(pr engine.PairOf[model.Tuple]) Item {
+			return PairItem(pr.Left, pr.Right)
+		}), nil
+
+	case IterUniquePairs:
+		if b := p.Branches[0].Block; b != nil {
+			grouped := ex.blocks(first, b)
+			return engine.FlatMap(grouped, func(g engine.Pair[string, []model.Tuple]) []Item {
+				return PairsUnique([][]model.Tuple{g.Value})
+			}), nil
+		}
+		pairs := join.UCrossProduct(first)
+		return engine.Map(pairs, func(pr engine.PairOf[model.Tuple]) Item {
+			return PairItem(pr.Left, pr.Right)
+		}), nil
+
+	case IterOrderedPairs:
+		if b := p.Branches[0].Block; b != nil {
+			grouped := ex.blocks(first, b)
+			return engine.FlatMap(grouped, func(g engine.Pair[string, []model.Tuple]) []Item {
+				return PairsOrdered([][]model.Tuple{g.Value})
+			}), nil
+		}
+		pairs := join.CrossProduct(first)
+		return engine.Map(pairs, func(pr engine.PairOf[model.Tuple]) Item {
+			return PairItem(pr.Left, pr.Right)
+		}), nil
+
+	default:
+		return nil, fmt.Errorf("core: pipeline %s: unknown iterate implementation", p.RuleID)
+	}
+}
+
+// coGroupBranches keys the first two branches and co-groups them.
+func (ex *sparkExec) coGroupBranches(pp *PhysicalPlan, branches []Branch) (*engine.Dataset[engine.Pair[string, engine.CoGrouped[model.Tuple, model.Tuple]]], error) {
+	if len(branches) < 2 {
+		return nil, fmt.Errorf("core: CoBlock needs two branches")
+	}
+	left, err := ex.branchStream(pp, branches[0])
+	if err != nil {
+		return nil, err
+	}
+	right, err := ex.branchStream(pp, branches[1])
+	if err != nil {
+		return nil, err
+	}
+	lb, rb := branches[0].Block, branches[1].Block
+	if lb == nil || rb == nil {
+		return nil, fmt.Errorf("core: CoBlock requires Block on both branches")
+	}
+	lk := engine.KeyBy(left, func(t model.Tuple) string { return lb(t) })
+	rk := engine.KeyBy(right, func(t model.Tuple) string { return rb(t) })
+	cg := engine.CoGroup(lk, rk)
+	if err := cg.Err(); err != nil {
+		return nil, err
+	}
+	return cg, nil
+}
+
+// dedupeResult removes duplicate violations across pipelines while keeping
+// FixSets aligned.
+func dedupeResult(r *DetectResult) {
+	seen := make(map[string]bool, len(r.FixSets))
+	outV := r.Violations[:0]
+	outF := r.FixSets[:0]
+	for i, fs := range r.FixSets {
+		k := fs.Violation.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		outV = append(outV, r.Violations[i])
+		outF = append(outF, fs)
+	}
+	r.Violations = outV
+	r.FixSets = outF
+}
+
+// DetectRule is the convenience entry point: plan, optimize and run one
+// rule over a relation on the dataflow backend.
+func DetectRule(ctx *engine.Context, r *Rule, rel *model.Relation) (*DetectResult, error) {
+	lp, err := PlanRule(r, rel)
+	if err != nil {
+		return nil, err
+	}
+	pp, err := Optimize(lp)
+	if err != nil {
+		return nil, err
+	}
+	return RunPlanSpark(ctx, pp)
+}
+
+// DetectRules plans all rules over one relation as a single consolidated
+// plan and runs it.
+func DetectRules(ctx *engine.Context, rs []*Rule, rel *model.Relation) (*DetectResult, error) {
+	lp, err := PlanRules(rs, rel)
+	if err != nil {
+		return nil, err
+	}
+	pp, err := Optimize(lp)
+	if err != nil {
+		return nil, err
+	}
+	return RunPlanSpark(ctx, pp)
+}
+
+// RunJobSpark validates, plans, optimizes and executes a job.
+func RunJobSpark(ctx *engine.Context, j *Job) (*DetectResult, error) {
+	lp, err := BuildPlan(j)
+	if err != nil {
+		return nil, err
+	}
+	pp, err := Optimize(lp)
+	if err != nil {
+		return nil, err
+	}
+	return RunPlanSpark(ctx, pp)
+}

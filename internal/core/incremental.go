@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+
+	"bigdansing/internal/engine"
+	"bigdansing/internal/model"
+)
+
+// IncrementalDetector maintains detection state across updates: after a
+// full first pass, later passes re-detect only the blocks containing
+// changed tuples (under both their old and new blocking keys), splicing
+// fresh violations over the cached ones. The iterative detect-repair loop
+// benefits directly — each round only touches the blocks its repairs
+// changed — in the spirit of incremental inconsistency detection [14].
+//
+// Rules qualify for incremental maintenance when they are blocked,
+// single-branch, scope-free and planner-enumerated (unique or ordered
+// pairs), or unary; other rules (OCJoin, CoBlock, custom Iterate, scoped)
+// are re-run in full each pass.
+type IncrementalDetector struct {
+	ctx   *engine.Context
+	rules []*Rule
+
+	// state per incremental rule index.
+	state map[int]*ruleState
+	// full holds the latest results of non-incremental rules.
+	full []model.FixSet
+	// primed reports whether the first full pass ran.
+	primed bool
+}
+
+type ruleState struct {
+	// keyOf is the tuple ID -> blocking key map of the last pass.
+	keyOf map[int64]string
+	// byBlock groups the rule's fix sets by blocking key ("" for unary
+	// rules, keyed by tuple instead).
+	byBlock map[string][]model.FixSet
+}
+
+// NewIncrementalDetector validates the rules and prepares state.
+func NewIncrementalDetector(ctx *engine.Context, rules []*Rule) (*IncrementalDetector, error) {
+	for _, r := range rules {
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &IncrementalDetector{ctx: ctx, rules: rules, state: map[int]*ruleState{}}, nil
+}
+
+// incrementalizable reports whether a rule supports block-incremental
+// maintenance.
+func incrementalizable(r *Rule) bool {
+	if r.Unary {
+		return true
+	}
+	return r.Block != nil && r.BlockRight == nil && r.Iterate == nil &&
+		r.Scope == nil && len(r.OrderConds) == 0
+}
+
+// Detect runs a pass. changed lists the tuple IDs updated since the last
+// pass; nil (or a first call) forces a full pass. The returned result is a
+// fresh snapshot — callers may retain it.
+func (d *IncrementalDetector) Detect(rel *model.Relation, changed []int64) (*DetectResult, error) {
+	if !d.primed || changed == nil {
+		return d.fullPass(rel)
+	}
+	res := &DetectResult{}
+	d.full = d.full[:0]
+	for i, r := range d.rules {
+		if !incrementalizable(r) {
+			sub, err := DetectRule(d.ctx, r, rel)
+			if err != nil {
+				return nil, err
+			}
+			d.full = append(d.full, sub.FixSets...)
+			continue
+		}
+		if err := d.incrementalPass(i, r, rel, changed); err != nil {
+			return nil, err
+		}
+	}
+	d.assemble(res)
+	return res, nil
+}
+
+// fullPass recomputes everything and primes the caches.
+func (d *IncrementalDetector) fullPass(rel *model.Relation) (*DetectResult, error) {
+	d.full = d.full[:0]
+	for i, r := range d.rules {
+		sub, err := DetectRule(d.ctx, r, rel)
+		if err != nil {
+			return nil, err
+		}
+		if !incrementalizable(r) {
+			d.full = append(d.full, sub.FixSets...)
+			continue
+		}
+		st := &ruleState{keyOf: map[int64]string{}, byBlock: map[string][]model.FixSet{}}
+		for _, t := range rel.Tuples {
+			st.keyOf[t.ID] = d.blockKey(r, t)
+		}
+		for _, fs := range sub.FixSets {
+			k := d.violationBlock(r, st, fs)
+			st.byBlock[k] = append(st.byBlock[k], fs)
+		}
+		d.state[i] = st
+	}
+	d.primed = true
+	out := &DetectResult{}
+	d.assemble(out)
+	return out, nil
+}
+
+// blockKey computes a tuple's blocking key ("" plus the tuple id for unary
+// rules, which are keyed per tuple).
+func (d *IncrementalDetector) blockKey(r *Rule, t model.Tuple) string {
+	if r.Unary {
+		return fmt.Sprintf("u%d", t.ID)
+	}
+	return r.Block(t)
+}
+
+// violationBlock attributes a fix set to a block through its first cell.
+func (d *IncrementalDetector) violationBlock(r *Rule, st *ruleState, fs model.FixSet) string {
+	if len(fs.Violation.Cells) == 0 {
+		return ""
+	}
+	return st.keyOf[fs.Violation.Cells[0].TupleID]
+}
+
+// incrementalPass refreshes one rule's state for the changed tuples.
+func (d *IncrementalDetector) incrementalPass(idx int, r *Rule, rel *model.Relation, changed []int64) error {
+	st := d.state[idx]
+	if st == nil {
+		return fmt.Errorf("core: incremental state missing for rule %s", r.ID)
+	}
+	byID := rel.ByID()
+
+	// Affected blocks: old key and new key of every changed tuple.
+	affected := map[string]bool{}
+	for _, id := range changed {
+		if old, ok := st.keyOf[id]; ok {
+			affected[old] = true
+		}
+		if i, ok := byID[id]; ok {
+			t := rel.Tuples[i]
+			k := d.blockKey(r, t)
+			affected[k] = true
+			st.keyOf[id] = k
+		} else {
+			delete(st.keyOf, id) // tuple removed
+		}
+	}
+	if len(affected) == 0 {
+		return nil
+	}
+
+	// Re-detect the affected blocks only: restrict the relation to tuples
+	// whose current key is affected.
+	sub := model.NewRelation(rel.Name, rel.Schema)
+	for _, t := range rel.Tuples {
+		if affected[d.blockKey(r, t)] {
+			sub.Append(t)
+		}
+	}
+	for k := range affected {
+		delete(st.byBlock, k)
+	}
+	if sub.Len() > 0 {
+		res, err := DetectRule(d.ctx, r, sub)
+		if err != nil {
+			return err
+		}
+		for _, fs := range res.FixSets {
+			k := d.violationBlock(r, st, fs)
+			st.byBlock[k] = append(st.byBlock[k], fs)
+		}
+	}
+	return nil
+}
+
+// assemble snapshots the cached state into a result.
+func (d *IncrementalDetector) assemble(res *DetectResult) {
+	for _, st := range d.state {
+		for _, sets := range st.byBlock {
+			for _, fs := range sets {
+				res.Violations = append(res.Violations, fs.Violation)
+				res.FixSets = append(res.FixSets, fs)
+			}
+		}
+	}
+	for _, fs := range d.full {
+		res.Violations = append(res.Violations, fs.Violation)
+		res.FixSets = append(res.FixSets, fs)
+	}
+	dedupeResult(res)
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"bigdansing/internal/engine"
+	"bigdansing/internal/model"
+)
+
+// mutableTax builds a tax relation with n rows over k zip blocks where the
+// city is derived from the zip, plus a few corruptions.
+func mutableTax(n, k int, seed int64) *model.Relation {
+	r := rand.New(rand.NewSource(seed))
+	s := model.MustParseSchema("name,zipcode:int,city,state,salary:float,rate:float")
+	rel := model.NewRelation("tax", s)
+	for i := 0; i < n; i++ {
+		zip := int64(10000 + r.Intn(k))
+		city := fmt.Sprintf("C%d", zip)
+		if r.Intn(10) == 0 {
+			city = "BAD" + city
+		}
+		rel.Append(model.NewTuple(int64(i), model.S("p"), model.I(zip), model.S(city),
+			model.S("ST"), model.F(1), model.F(1)))
+	}
+	return rel
+}
+
+func violationKeySet(res *DetectResult) map[string]bool {
+	out := map[string]bool{}
+	for _, v := range res.Violations {
+		out[v.Key()] = true
+	}
+	return out
+}
+
+func assertSameViolations(t *testing.T, got, want *DetectResult, context string) {
+	t.Helper()
+	gk, wk := violationKeySet(got), violationKeySet(want)
+	if len(gk) != len(wk) {
+		t.Fatalf("%s: incremental %d vs full %d violations", context, len(gk), len(wk))
+	}
+	for k := range wk {
+		if !gk[k] {
+			t.Errorf("%s: missing violation %s", context, k)
+		}
+	}
+}
+
+func TestIncrementalMatchesFullAfterUpdates(t *testing.T) {
+	ctx := engine.New(4)
+	rel := mutableTax(300, 25, 3)
+	rule := fdRule()
+
+	det, err := NewIncrementalDetector(ctx, []*Rule{rule})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := det.Detect(rel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullFirst, err := DetectRule(ctx, rule, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameViolations(t, first, fullFirst, "first pass")
+
+	// Apply a series of random updates (city fixes and zip moves) and
+	// verify parity after each round.
+	r := rand.New(rand.NewSource(99))
+	idx := rel.ByID()
+	for round := 0; round < 5; round++ {
+		var changed []int64
+		for j := 0; j < 10; j++ {
+			id := int64(r.Intn(300))
+			i := idx[id]
+			switch r.Intn(3) {
+			case 0: // repair the city to the block's canonical value
+				zip := rel.Tuples[i].Cell(1).Int
+				rel.Tuples[i].Cells[2] = model.S(fmt.Sprintf("C%d", zip))
+			case 1: // corrupt the city
+				rel.Tuples[i].Cells[2] = model.S(fmt.Sprintf("BAD%d", r.Intn(50)))
+			default: // move the tuple to another block (zip update)
+				rel.Tuples[i].Cells[1] = model.I(int64(10000 + r.Intn(25)))
+			}
+			changed = append(changed, id)
+		}
+		inc, err := det.Detect(rel, changed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := DetectRule(ctx, rule, rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameViolations(t, inc, full, fmt.Sprintf("round %d", round))
+	}
+}
+
+func TestIncrementalUnaryRule(t *testing.T) {
+	ctx := engine.New(2)
+	rel := mutableTax(50, 5, 7)
+	rule := &Rule{
+		ID:    "badCity",
+		Unary: true,
+		Detect: func(it Item) []model.Violation {
+			tp := it.One()
+			if len(tp.Cell(2).String()) > 0 && tp.Cell(2).String()[0] == 'B' {
+				return []model.Violation{model.NewViolation("badCity",
+					model.NewCell(tp.ID, 2, "city", tp.Cell(2)))}
+			}
+			return nil
+		},
+	}
+	det, err := NewIncrementalDetector(ctx, []*Rule{rule})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.Detect(rel, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Fix one bad city and corrupt a good one.
+	var fixed, broken int64 = -1, -1
+	for i := range rel.Tuples {
+		city := rel.Tuples[i].Cell(2).String()
+		if fixed < 0 && city[0] == 'B' {
+			rel.Tuples[i].Cells[2] = model.S("CLEAN")
+			fixed = rel.Tuples[i].ID
+		} else if broken < 0 && city[0] != 'B' {
+			rel.Tuples[i].Cells[2] = model.S("BROKEN")
+			broken = rel.Tuples[i].ID
+		}
+	}
+	inc, err := det.Detect(rel, []int64{fixed, broken})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := DetectRule(ctx, rule, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameViolations(t, inc, full, "unary")
+}
+
+func TestIncrementalFallsBackForComplexRules(t *testing.T) {
+	// An OCJoin rule is not incrementalizable; the detector must still
+	// produce correct results by re-running it fully.
+	ctx := engine.New(2)
+	rel := exampleTax()
+	det, err := NewIncrementalDetector(ctx, []*Rule{dcRule()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := det.Detect(rel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Violations) != 3 {
+		t.Fatalf("first pass = %d violations", len(first.Violations))
+	}
+	// Repair one rate and pass the change.
+	idx := rel.ByID()
+	rel.Tuples[idx[2]].Cells[5] = model.F(11) // t2 rate 10 -> 11
+	inc, err := det.Detect(rel, []int64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := DetectRule(ctx, dcRule(), rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameViolations(t, inc, full, "ocjoin fallback")
+}
+
+func TestIncrementalNoChanges(t *testing.T) {
+	ctx := engine.New(2)
+	rel := mutableTax(60, 6, 1)
+	det, _ := NewIncrementalDetector(ctx, []*Rule{fdRule()})
+	first, err := det.Detect(rel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := det.Detect(rel, []int64{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameViolations(t, again, first, "no-op update")
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+
+	"bigdansing/internal/model"
+)
+
+// OpKind identifies a logical operator in a job.
+type OpKind uint8
+
+const (
+	// OpScope is the Scope operator.
+	OpScope OpKind = iota
+	// OpBlock is the Block operator.
+	OpBlock
+	// OpIterate is the Iterate operator.
+	OpIterate
+	// OpDetect is the Detect operator.
+	OpDetect
+	// OpGenFix is the GenFix operator.
+	OpGenFix
+)
+
+// String names the operator kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpScope:
+		return "Scope"
+	case OpBlock:
+		return "Block"
+	case OpIterate:
+		return "Iterate"
+	case OpDetect:
+		return "Detect"
+	case OpGenFix:
+		return "GenFix"
+	default:
+		return "Op?"
+	}
+}
+
+// OpDecl is one labeled operator in a job. Labels stamp data streams and
+// define the data flow among operators (Section 3.1): an operator consumes
+// the streams named by In and, for Iterate, produces the stream named Out.
+type OpDecl struct {
+	Kind    OpKind
+	Scope   ScopeFunc
+	Block   BlockFunc
+	Iterate IterateFunc
+	Detect  DetectFunc
+	GenFix  GenFixFunc
+	In      []string
+	Out     string
+}
+
+// Job is the UDF-facing specification API of Appendix A: users register
+// input datasets under labels, then attach labeled operators in the order
+// they want them to run.
+type Job struct {
+	// Name labels the job in diagnostics.
+	Name string
+
+	inputs map[string]*model.Relation // label -> dataset
+	order  []string                   // label registration order
+	ops    []OpDecl
+}
+
+// NewJob creates an empty job.
+func NewJob(name string) *Job {
+	return &Job{Name: name, inputs: make(map[string]*model.Relation)}
+}
+
+// AddInput registers a dataset under one or more labels. Multiple labels on
+// the same relation declare multiple logical data flows over it (the "S",
+// "T" copies of Listing 3); the optimizer consolidates them back into
+// shared scans.
+func (j *Job) AddInput(rel *model.Relation, labels ...string) *Job {
+	for _, l := range labels {
+		if _, dup := j.inputs[l]; !dup {
+			j.order = append(j.order, l)
+		}
+		j.inputs[l] = rel
+	}
+	return j
+}
+
+// AddScope attaches a Scope operator to the stream with the given label.
+func (j *Job) AddScope(fn ScopeFunc, label string) *Job {
+	j.ops = append(j.ops, OpDecl{Kind: OpScope, Scope: fn, In: []string{label}, Out: label})
+	return j
+}
+
+// AddBlock attaches a Block operator to the stream with the given label.
+func (j *Job) AddBlock(fn BlockFunc, label string) *Job {
+	j.ops = append(j.ops, OpDecl{Kind: OpBlock, Block: fn, In: []string{label}, Out: label})
+	return j
+}
+
+// AddIterate attaches an Iterate operator reading the streams named by in
+// and producing the stream out.
+func (j *Job) AddIterate(fn IterateFunc, out string, in ...string) *Job {
+	j.ops = append(j.ops, OpDecl{Kind: OpIterate, Iterate: fn, In: in, Out: out})
+	return j
+}
+
+// AddDetect attaches a Detect operator to the stream with the given label.
+func (j *Job) AddDetect(fn DetectFunc, label string) *Job {
+	j.ops = append(j.ops, OpDecl{Kind: OpDetect, Detect: fn, In: []string{label}, Out: label})
+	return j
+}
+
+// AddGenFix attaches a GenFix operator to the violations of the Detect with
+// the same label.
+func (j *Job) AddGenFix(fn GenFixFunc, label string) *Job {
+	j.ops = append(j.ops, OpDecl{Kind: OpGenFix, GenFix: fn, In: []string{label}, Out: label})
+	return j
+}
+
+// Inputs returns the labeled datasets.
+func (j *Job) Inputs() map[string]*model.Relation { return j.inputs }
+
+// Ops returns the declared operators in order.
+func (j *Job) Ops() []OpDecl { return j.ops }
+
+// validate performs the checks of Section 3.2: all labels resolve and at
+// least one Detect exists.
+func (j *Job) validate() error {
+	if len(j.inputs) == 0 {
+		return fmt.Errorf("core: job %q has no input dataset", j.Name)
+	}
+	produced := make(map[string]bool, len(j.inputs))
+	for l := range j.inputs {
+		produced[l] = true
+	}
+	hasDetect := false
+	for _, op := range j.ops {
+		switch op.Kind {
+		case OpScope, OpBlock:
+			if !produced[op.In[0]] {
+				return fmt.Errorf("core: job %q: %s references undefined label %q", j.Name, op.Kind, op.In[0])
+			}
+		case OpIterate:
+			for _, in := range op.In {
+				if !produced[in] {
+					return fmt.Errorf("core: job %q: Iterate references undefined label %q", j.Name, in)
+				}
+			}
+			produced[op.Out] = true
+		case OpDetect:
+			if !produced[op.In[0]] {
+				return fmt.Errorf("core: job %q: Detect references undefined label %q", j.Name, op.In[0])
+			}
+			hasDetect = true
+		case OpGenFix:
+			// matched to a Detect label below
+		}
+	}
+	if !hasDetect {
+		return fmt.Errorf("core: job %q has no Detect operator", j.Name)
+	}
+	for _, op := range j.ops {
+		if op.Kind != OpGenFix {
+			continue
+		}
+		found := false
+		for _, d := range j.ops {
+			if d.Kind == OpDetect && d.In[0] == op.In[0] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("core: job %q: GenFix label %q has no matching Detect", j.Name, op.In[0])
+		}
+	}
+	return nil
+}

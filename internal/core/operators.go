@@ -1,0 +1,154 @@
+// Package core implements BigDansing's primary contribution: the
+// five-operator rule-specification abstraction (Scope, Block, Iterate,
+// Detect, GenFix), the job API that wires labeled operators over input
+// datasets (Appendix A), the logical planner (Section 3.2), the plan
+// consolidation and enhancer-selection optimizations (Section 4), and
+// execution layers for both the in-memory dataflow backend and the
+// disk-based MapReduce backend (Appendix G).
+//
+// Operator functions are invoked concurrently from many workers — that is
+// the point of the abstraction ("it allows to apply an operator in a highly
+// parallel fashion", Section 3.1) — so they must be safe for concurrent
+// use: treat their inputs as read-only and avoid writing shared state
+// without synchronization.
+package core
+
+import (
+	"bigdansing/internal/model"
+)
+
+// ScopeFunc removes irrelevant data units and/or projects their elements.
+// Returning an empty slice drops the unit; returning several replicates it
+// (Section 3.1, operator 1).
+type ScopeFunc func(model.Tuple) []model.Tuple
+
+// BlockFunc assigns a data unit the blocking key of the group in which
+// violations may occur (Section 3.1, operator 2).
+type BlockFunc func(model.Tuple) string
+
+// IterateFunc combines data units into candidate violations. It receives
+// one list per input stream (the units of one co-grouped block) and emits
+// the items Detect will examine (Section 3.1, operator 3).
+type IterateFunc func(blocks [][]model.Tuple) []Item
+
+// DetectFunc decides whether a candidate is a real violation, returning
+// zero or more violations (Section 3.1, operator 4).
+type DetectFunc func(Item) []model.Violation
+
+// GenFixFunc computes the possible fixes for one violation (Section 3.1,
+// operator 5).
+type GenFixFunc func(model.Violation) []model.Fix
+
+// ItemKind distinguishes the three input granularities Detect accepts: a
+// single unit, a pair of units, or a list of units. Distinguishing them
+// lets the executor parallelize at the finest granularity available.
+type ItemKind uint8
+
+const (
+	// ItemSingle is one data unit.
+	ItemSingle ItemKind = iota
+	// ItemPair is an ordered pair of units.
+	ItemPair
+	// ItemList is an arbitrary list of units.
+	ItemList
+)
+
+// Item is a candidate violation: the unit(s) Iterate hands to Detect.
+type Item struct {
+	Kind   ItemKind
+	Tuples []model.Tuple
+}
+
+// Single wraps one unit.
+func Single(t model.Tuple) Item { return Item{Kind: ItemSingle, Tuples: []model.Tuple{t}} }
+
+// PairItem wraps an ordered pair.
+func PairItem(l, r model.Tuple) Item {
+	return Item{Kind: ItemPair, Tuples: []model.Tuple{l, r}}
+}
+
+// ListItem wraps a list of units.
+func ListItem(ts []model.Tuple) Item { return Item{Kind: ItemList, Tuples: ts} }
+
+// One returns the single unit (valid for ItemSingle).
+func (it Item) One() model.Tuple { return it.Tuples[0] }
+
+// Left returns the first unit of a pair.
+func (it Item) Left() model.Tuple { return it.Tuples[0] }
+
+// Right returns the second unit of a pair.
+func (it Item) Right() model.Tuple { return it.Tuples[1] }
+
+// PairsUnique is the default Iterate for symmetric rules over one stream:
+// the unique unordered pairs within the block, n(n-1)/2 instead of n²
+// (Figure 2's four pairs instead of thirteen).
+func PairsUnique(blocks [][]model.Tuple) []Item {
+	if len(blocks) == 0 {
+		return nil
+	}
+	us := blocks[0]
+	if len(us) < 2 {
+		return nil
+	}
+	out := make([]Item, 0, len(us)*(len(us)-1)/2)
+	for i := 0; i < len(us); i++ {
+		for j := i + 1; j < len(us); j++ {
+			out = append(out, PairItem(us[i], us[j]))
+		}
+	}
+	return out
+}
+
+// PairsOrdered is the default Iterate for asymmetric rules over one stream:
+// all ordered pairs within the block.
+func PairsOrdered(blocks [][]model.Tuple) []Item {
+	if len(blocks) == 0 {
+		return nil
+	}
+	us := blocks[0]
+	if len(us) < 2 {
+		return nil
+	}
+	out := make([]Item, 0, len(us)*(len(us)-1))
+	for i := range us {
+		for j := range us {
+			if i == j {
+				continue
+			}
+			out = append(out, PairItem(us[i], us[j]))
+		}
+	}
+	return out
+}
+
+// PairsAcross is the default Iterate for two co-grouped streams: the cross
+// pairs between the left and right bags of one key (the CoBlock pattern of
+// Figure 6).
+func PairsAcross(blocks [][]model.Tuple) []Item {
+	if len(blocks) < 2 {
+		return nil
+	}
+	left, right := blocks[0], blocks[1]
+	out := make([]Item, 0, len(left)*len(right))
+	for _, l := range left {
+		for _, r := range right {
+			if l.ID == r.ID {
+				continue
+			}
+			out = append(out, PairItem(l, r))
+		}
+	}
+	return out
+}
+
+// Singles is the Iterate for unary rules: each unit is its own candidate.
+func Singles(blocks [][]model.Tuple) []Item {
+	if len(blocks) == 0 {
+		return nil
+	}
+	out := make([]Item, 0, len(blocks[0]))
+	for _, t := range blocks[0] {
+		out = append(out, Single(t))
+	}
+	return out
+}

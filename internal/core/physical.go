@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// IterImpl enumerates the physical implementations the optimizer can pick
+// for the Iterate stage (Section 4.2's wrappers and enhancers).
+type IterImpl uint8
+
+const (
+	// IterCustom wraps a user-provided Iterate (a wrapper, no enhancer).
+	IterCustom IterImpl = iota
+	// IterUniquePairs enumerates unique unordered pairs per block —
+	// the UCrossProduct enhancer, valid for symmetric rules.
+	IterUniquePairs
+	// IterOrderedPairs enumerates all ordered pairs per block — the plain
+	// CrossProduct wrapper for asymmetric rules.
+	IterOrderedPairs
+	// IterCoBlockPairs pairs units across the bags of two co-grouped
+	// streams — the CoBlock enhancer (Figure 6).
+	IterCoBlockPairs
+	// IterOCJoin produces exactly the pairs satisfying the rule's ordering
+	// comparisons — the OCJoin enhancer (Section 4.3).
+	IterOCJoin
+	// IterSingles feeds each unit on its own — unary rules.
+	IterSingles
+)
+
+// String names the implementation as the paper's physical operators.
+func (i IterImpl) String() string {
+	switch i {
+	case IterCustom:
+		return "PIterate"
+	case IterUniquePairs:
+		return "UCrossProduct"
+	case IterOrderedPairs:
+		return "CrossProduct"
+	case IterCoBlockPairs:
+		return "CoBlock"
+	case IterOCJoin:
+		return "OCJoin"
+	case IterSingles:
+		return "PMap"
+	default:
+		return "Iter?"
+	}
+}
+
+// PhysicalPipeline is a pipeline plus the optimizer's physical choices.
+type PhysicalPipeline struct {
+	Pipeline
+	Impl IterImpl
+	// Ops lists the physical operator sequence for EXPLAIN-style output.
+	Ops []string
+}
+
+// PhysicalPlan is the optimized executable plan.
+type PhysicalPlan struct {
+	Name        string
+	Logical     *LogicalPlan
+	Pipelines   []PhysicalPipeline
+	SharedScans int
+}
+
+// Optimize consolidates the logical plan (Algorithm 1) and translates each
+// pipeline into physical operators, selecting enhancers where the rule's
+// structure permits (Section 4.2):
+//
+//   - ordering-comparison rules take OCJoin;
+//   - two-branch (or doubly-keyed) rules take CoBlock;
+//   - symmetric blocked rules take UCrossProduct within blocks;
+//   - asymmetric blocked rules fall back to ordered pairs;
+//   - user Iterates are wrapped unchanged.
+func Optimize(lp *LogicalPlan) (*PhysicalPlan, error) {
+	lp = Consolidate(lp)
+	pp := &PhysicalPlan{Name: lp.Name, Logical: lp, SharedScans: lp.SharedScans}
+	for _, p := range lp.Pipelines {
+		phys := PhysicalPipeline{Pipeline: p}
+		var ops []string
+		for _, b := range p.Branches {
+			if len(b.Scopes) > 0 {
+				ops = append(ops, "PScope")
+			}
+		}
+		switch {
+		case p.Unary:
+			phys.Impl = IterSingles
+		case p.Iterate != nil:
+			phys.Impl = IterCustom
+			if len(p.Branches) > 1 {
+				ops = append(ops, "Co-Block")
+			} else if p.Branches[0].Block != nil {
+				ops = append(ops, "PBlock")
+			}
+		case len(p.OrderConds) > 0:
+			phys.Impl = IterOCJoin
+		case len(p.Branches) > 1:
+			phys.Impl = IterCoBlockPairs
+			for _, b := range p.Branches {
+				if b.Block == nil {
+					return nil, fmt.Errorf("core: pipeline %s: CoBlock branches must all have Block operators", p.RuleID)
+				}
+			}
+		case p.Branches[0].Block != nil && p.Symmetric:
+			phys.Impl = IterUniquePairs
+			ops = append(ops, "PBlock")
+		case p.Branches[0].Block != nil:
+			phys.Impl = IterOrderedPairs
+			ops = append(ops, "PBlock")
+		case p.Symmetric:
+			phys.Impl = IterUniquePairs
+		default:
+			phys.Impl = IterOrderedPairs
+		}
+		ops = append(ops, phys.Impl.String(), "PDetect")
+		if p.GenFix != nil {
+			ops = append(ops, "PGenFix")
+		}
+		phys.Ops = ops
+		pp.Pipelines = append(pp.Pipelines, phys)
+	}
+	return pp, nil
+}
+
+// Explain renders the physical plan, one pipeline per line.
+func (pp *PhysicalPlan) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan %s (shared scans: %d)\n", pp.Name, pp.SharedScans)
+	for _, p := range pp.Pipelines {
+		fmt.Fprintf(&b, "  %s: %s\n", p.RuleID, strings.Join(p.Ops, " -> "))
+	}
+	return b.String()
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+
+	"bigdansing/internal/engine"
+	"bigdansing/internal/storage"
+)
+
+// DetectRuleFromStore runs a rule's detection over a dataset stored in the
+// storage manager, exploiting the pushdowns of Appendix F:
+//
+//   - Block pushdown: when the rule declares its blocking attribute
+//     (Rule.BlockAttr) and the store holds a replica content-partitioned on
+//     that attribute, every block is fully contained in one storage
+//     partition, so partitions are detected independently — no shuffle
+//     crosses partition boundaries ("BigDansing can push down the Block
+//     operator to the storage manager").
+//   - Otherwise the best available replica is read whole and detection
+//     falls back to the normal shuffled plan.
+//
+// The returned bool reports whether the pushdown was used.
+func DetectRuleFromStore(ctx *engine.Context, st *storage.Store, dataset string, r *Rule) (*DetectResult, bool, error) {
+	if err := r.Validate(); err != nil {
+		return nil, false, err
+	}
+	replicas, err := st.Replicas(dataset)
+	if err != nil {
+		return nil, false, err
+	}
+	pick := ""
+	havePushdown := false
+	for _, rep := range replicas {
+		if r.BlockAttr != "" && rep == r.BlockAttr {
+			pick = rep
+			havePushdown = true
+			break
+		}
+	}
+	if !havePushdown {
+		if len(replicas) == 0 {
+			return nil, false, fmt.Errorf("core: dataset %q has no stored replicas", dataset)
+		}
+		pick = replicas[0]
+	}
+
+	if !havePushdown || r.Block == nil {
+		rel, err := st.Read(dataset, pick, storage.ReadOptions{Partition: -1})
+		if err != nil {
+			return nil, false, err
+		}
+		res, err := DetectRule(ctx, r, rel)
+		return res, false, err
+	}
+
+	// Pushdown path: iterate the replica's partitions; blocks never span
+	// partitions because the partitioner and the blocking key agree.
+	plan, err := st.Plan(dataset, pick)
+	if err != nil {
+		return nil, false, err
+	}
+	result := &DetectResult{}
+	for p := 0; p < plan.Partitions; p++ {
+		part, err := st.Read(dataset, pick, storage.ReadOptions{Partition: p})
+		if err != nil {
+			return nil, false, err
+		}
+		if part.Len() == 0 {
+			continue
+		}
+		res, err := DetectRule(ctx, r, part)
+		if err != nil {
+			return nil, false, err
+		}
+		result.Merge(res)
+	}
+	dedupeResult(result)
+	return result, true, nil
+}

@@ -1,0 +1,350 @@
+// Package datagen generates the evaluation datasets of Section 6.1 —
+// TaxA, TaxB, TPCH (lineitem ⋈ customer), Customer (dedup variants),
+// NCVoter and HAI — with seeded, schema-faithful synthetic data, the same
+// error models the paper injects (random text errors, numeric rate errors,
+// duplicates with random edits), and retained ground truth for the repair
+// quality measurements of Table 4.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bigdansing/internal/model"
+)
+
+// Truth is the ground truth of a generated dirty dataset: the clean
+// instance plus the set of corrupted cells.
+type Truth struct {
+	// Clean is the error-free instance (same tuple IDs as the dirty one).
+	Clean *model.Relation
+	// Dirty is the generated instance with injected errors.
+	Dirty *model.Relation
+	// Errors maps corrupted cell keys ("tupleID#col") to the clean value.
+	Errors map[string]model.Value
+	// DupPairs lists injected duplicate pairs (dedup datasets only).
+	DupPairs [][2]int64
+}
+
+// markError registers a corruption.
+func (tr *Truth) markError(tupleID int64, col int, clean model.Value) {
+	tr.Errors[fmt.Sprintf("%d#%d", tupleID, col)] = clean
+}
+
+var firstNames = []string{
+	"Annie", "Laure", "John", "Mark", "Robert", "Mary", "Linda", "James",
+	"Patricia", "Michael", "Jennifer", "William", "Elizabeth", "David",
+	"Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas",
+}
+
+var lastNames = []string{
+	"Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+	"Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+	"Wilson", "Anderson", "Taylor", "Thomas", "Moore", "Jackson", "Martin",
+}
+
+var states = []string{
+	"NY", "CA", "IL", "TX", "FL", "WA", "MA", "PA", "OH", "GA",
+	"NC", "MI", "NJ", "VA", "AZ", "TN", "IN", "MO", "MD", "WI",
+}
+
+// cityOf deterministically names the city of a zipcode.
+func cityOf(zip int64) string { return fmt.Sprintf("City%03d", zip%997) }
+
+// stateOf deterministically names the state of a zipcode region.
+func stateOf(zip int64) string { return states[int(zip/1000)%len(states)] }
+
+func personName(r *rand.Rand) string {
+	return firstNames[r.Intn(len(firstNames))] + " " + lastNames[r.Intn(len(lastNames))]
+}
+
+// corruptText appends a short random suffix, the paper's "random text
+// added to attributes" error model.
+func corruptText(r *rand.Rand, s string) string {
+	letters := "abcdefghijklmnopqrstuvwxyz0123456789"
+	n := 2 + r.Intn(3)
+	b := []byte(s + "_")
+	for i := 0; i < n; i++ {
+		b = append(b, letters[r.Intn(len(letters))])
+	}
+	return string(b)
+}
+
+// editText applies 1-2 random character edits (the duplicate error model).
+func editText(r *rand.Rand, s string) string {
+	b := []rune(s)
+	if len(b) == 0 {
+		return "x"
+	}
+	edits := 1 + r.Intn(2)
+	for e := 0; e < edits; e++ {
+		i := r.Intn(len(b))
+		switch r.Intn(3) {
+		case 0: // substitute
+			b[i] = rune('a' + r.Intn(26))
+		case 1: // delete
+			if len(b) > 1 {
+				b = append(b[:i], b[i+1:]...)
+			}
+		default: // insert
+			b = append(b[:i], append([]rune{rune('a' + r.Intn(26))}, b[i:]...)...)
+		}
+	}
+	return string(b)
+}
+
+// TaxSchema is the schema of TaxA/TaxB.
+func TaxSchema() *model.Schema {
+	return model.MustParseSchema("name,zipcode:int,city,state,salary:float,rate:float")
+}
+
+// TaxA generates the US tax dataset: zipcode functionally determines city
+// (rule φ1) and state (φ6-style); errors are random text added to City and
+// State on errRate of the rows.
+func TaxA(rows int, errRate float64, seed int64) *Truth {
+	r := rand.New(rand.NewSource(seed))
+	schema := TaxSchema()
+	clean := model.NewRelation("taxa", schema)
+	nZips := rows/20 + 1
+	for i := 0; i < rows; i++ {
+		zip := int64(10000 + r.Intn(nZips))
+		salary := float64(20000 + r.Intn(180000))
+		rate := salary / 10000 // monotone in salary: clean for φ2
+		clean.Append(model.NewTuple(int64(i),
+			model.S(personName(r)),
+			model.I(zip),
+			model.S(cityOf(zip)),
+			model.S(stateOf(zip)),
+			model.F(salary),
+			model.F(rate),
+		))
+	}
+	tr := &Truth{Clean: clean, Dirty: clean.Clone(), Errors: map[string]model.Value{}}
+	for i := range tr.Dirty.Tuples {
+		if r.Float64() >= errRate {
+			continue
+		}
+		t := &tr.Dirty.Tuples[i]
+		// Corrupt City, and sometimes State too.
+		tr.markError(t.ID, 2, t.Cells[2])
+		t.Cells[2] = model.S(corruptText(r, t.Cells[2].Str))
+		if r.Float64() < 0.5 {
+			tr.markError(t.ID, 3, t.Cells[3])
+			t.Cells[3] = model.S(corruptText(r, t.Cells[3].Str))
+		}
+	}
+	return tr
+}
+
+// TaxB generates TaxA plus numeric random errors on the Rate attribute
+// (rule φ2's inequality workload).
+func TaxB(rows int, errRate float64, seed int64) *Truth {
+	tr := TaxA(rows, 0, seed)
+	tr.Dirty.Name, tr.Clean.Name = "taxb", "taxb"
+	r := rand.New(rand.NewSource(seed + 1))
+	for i := range tr.Dirty.Tuples {
+		if r.Float64() >= errRate {
+			continue
+		}
+		t := &tr.Dirty.Tuples[i]
+		tr.markError(t.ID, 5, t.Cells[5])
+		// A random rate breaks the salary/rate monotonicity for some pairs.
+		t.Cells[5] = model.F(float64(r.Intn(40)) + r.Float64())
+	}
+	return tr
+}
+
+// TPCHSchema is the joined lineitem ⋈ customer schema used for rule φ3.
+func TPCHSchema() *model.Schema {
+	return model.MustParseSchema(
+		"o_custkey:int,c_name,c_address,c_phone,c_city,l_quantity:float,l_price:float")
+}
+
+// TPCH generates the joined lineitem-customer table: o_custkey determines
+// c_address (φ3); errors are random text on the address.
+func TPCH(rows int, errRate float64, seed int64) *Truth {
+	r := rand.New(rand.NewSource(seed))
+	schema := TPCHSchema()
+	clean := model.NewRelation("tpch", schema)
+	nCust := rows/8 + 1
+	addr := func(ck int64) string { return fmt.Sprintf("%d Main Street Apt %d", 100+ck%900, ck%50) }
+	phone := func(ck int64) string { return fmt.Sprintf("%03d-555-%04d", ck%1000, ck%10000) }
+	for i := 0; i < rows; i++ {
+		ck := int64(r.Intn(nCust))
+		clean.Append(model.NewTuple(int64(i),
+			model.I(ck),
+			model.S(fmt.Sprintf("Customer#%06d", ck)),
+			model.S(addr(ck)),
+			model.S(phone(ck)),
+			model.S(cityOf(ck)),
+			model.F(float64(1+r.Intn(50))),
+			model.F(float64(r.Intn(100000))/100),
+		))
+	}
+	tr := &Truth{Clean: clean, Dirty: clean.Clone(), Errors: map[string]model.Value{}}
+	for i := range tr.Dirty.Tuples {
+		if r.Float64() >= errRate {
+			continue
+		}
+		t := &tr.Dirty.Tuples[i]
+		tr.markError(t.ID, 2, t.Cells[2])
+		t.Cells[2] = model.S(corruptText(r, t.Cells[2].Str))
+	}
+	return tr
+}
+
+// CustomerSchema is the TPC-H customer schema used by the dedup workloads.
+func CustomerSchema() *model.Schema {
+	return model.MustParseSchema("c_custkey:int,c_name,c_address,c_phone,c_acctbal:float")
+}
+
+// Customers generates the deduplication workload of Section 6.5: base
+// distinct customers, each replicated dupFactor times exactly, plus
+// editRate of the total duplicated with random edits on name and phone.
+// DupPairs records every injected duplicate pair (edited ones).
+func Customers(name string, base, dupFactor int, editRate float64, seed int64) *Truth {
+	r := rand.New(rand.NewSource(seed))
+	schema := CustomerSchema()
+	dirty := model.NewRelation(name, schema)
+	tr := &Truth{Dirty: dirty, Errors: map[string]model.Value{}}
+	id := int64(0)
+	mk := func(ck int64) model.Tuple {
+		t := model.NewTuple(id,
+			model.I(ck),
+			model.S(personName(rand.New(rand.NewSource(seed+ck)))),
+			model.S(fmt.Sprintf("%d Elm Street", 1+ck%999)),
+			model.S(fmt.Sprintf("%03d-555-%04d", ck%1000, ck%10000)),
+			model.F(float64(r.Intn(100000))/100),
+		)
+		id++
+		return t
+	}
+	var originals []model.Tuple
+	for ck := int64(0); ck < int64(base); ck++ {
+		t := mk(ck)
+		originals = append(originals, t)
+		dirty.Append(t)
+		for d := 1; d < dupFactor; d++ {
+			dup := t.Clone()
+			dup.ID = id
+			id++
+			dirty.Append(dup)
+			tr.DupPairs = append(tr.DupPairs, [2]int64{t.ID, dup.ID})
+		}
+	}
+	// Edited duplicates.
+	nEdited := int(float64(dirty.Len()) * editRate)
+	for e := 0; e < nEdited; e++ {
+		src := originals[r.Intn(len(originals))]
+		dup := src.Clone()
+		dup.ID = id
+		id++
+		dup.Cells[1] = model.S(editText(r, dup.Cells[1].Str)) // name
+		dup.Cells[3] = model.S(editText(r, dup.Cells[3].Str)) // phone
+		dirty.Append(dup)
+		tr.DupPairs = append(tr.DupPairs, [2]int64{src.ID, dup.ID})
+	}
+	tr.Clean = dirty // dedup truth is the pair list, not cell repairs
+	return tr
+}
+
+// NCVoterSchema mirrors the real North Carolina voter table's relevant
+// attributes.
+func NCVoterSchema() *model.Schema {
+	return model.MustParseSchema("voter_id:int,name,city,zip:int,phone")
+}
+
+// NCVoter generates the voter dedup dataset: dupRate of rows duplicated
+// with random edits in name and phone (Section 6.1, dataset 5).
+func NCVoter(rows int, dupRate float64, seed int64) *Truth {
+	r := rand.New(rand.NewSource(seed))
+	schema := NCVoterSchema()
+	dirty := model.NewRelation("ncvoter", schema)
+	tr := &Truth{Dirty: dirty, Errors: map[string]model.Value{}}
+	id := int64(0)
+	var all []model.Tuple
+	for i := 0; i < rows; i++ {
+		zip := int64(27000 + r.Intn(900))
+		t := model.NewTuple(id,
+			model.I(int64(i)),
+			model.S(personName(r)),
+			model.S(cityOf(zip)),
+			model.I(zip),
+			model.S(fmt.Sprintf("919-555-%04d", r.Intn(10000))),
+		)
+		id++
+		all = append(all, t)
+		dirty.Append(t)
+	}
+	nDup := int(float64(rows) * dupRate)
+	for d := 0; d < nDup; d++ {
+		src := all[r.Intn(len(all))]
+		dup := src.Clone()
+		dup.ID = id
+		id++
+		dup.Cells[1] = model.S(editText(r, dup.Cells[1].Str))
+		dup.Cells[4] = model.S(editText(r, dup.Cells[4].Str))
+		dirty.Append(dup)
+		tr.DupPairs = append(tr.DupPairs, [2]int64{src.ID, dup.ID})
+	}
+	tr.Clean = dirty
+	return tr
+}
+
+// HAISchema mirrors the Healthcare Associated Infections table's attributes
+// covered by rules φ6, φ7, φ8.
+func HAISchema() *model.Schema {
+	return model.MustParseSchema(
+		"providerID:int,hospital,city,state,zip:int,county,phone,measure,score:float")
+}
+
+// HAI generates the hospital dataset with consistent functional
+// relationships — zip -> state (φ6), phone -> zip (φ7), providerID ->
+// city, phone (φ8) — then corrupts errRate of the rows on the attributes
+// named by targets (defaults to city, state, zip and phone — the columns
+// covered by the three FDs), keeping ground truth for Table 4's
+// precision/recall. The paper gives each rule combination its own dirty
+// dataset; pass the combination's covered attributes as targets.
+func HAI(rows int, errRate float64, seed int64, targets ...int) *Truth {
+	r := rand.New(rand.NewSource(seed))
+	schema := HAISchema()
+	clean := model.NewRelation("hai", schema)
+	nProviders := rows/6 + 1
+	phoneOf := func(p int64) string { return fmt.Sprintf("555-%07d", p%10000000) }
+	zipOfProv := func(p int64) int64 { return 10000 + p%500 }
+	for i := 0; i < rows; i++ {
+		p := int64(r.Intn(nProviders))
+		zip := zipOfProv(p)
+		clean.Append(model.NewTuple(int64(i),
+			model.I(p),
+			model.S(fmt.Sprintf("Hospital %d", p)),
+			model.S(cityOf(zip)),
+			model.S(stateOf(zip)),
+			model.I(zip),
+			model.S(fmt.Sprintf("County%d", zip%97)),
+			model.S(phoneOf(p)),
+			model.S(fmt.Sprintf("HAI-%d", r.Intn(6)+1)),
+			model.F(float64(r.Intn(200))/100),
+		))
+	}
+	tr := &Truth{Clean: clean, Dirty: clean.Clone(), Errors: map[string]model.Value{}}
+	if len(targets) == 0 {
+		// city (col 2), state (col 3), zip (col 4), phone (col 6).
+		targets = []int{2, 3, 4, 6}
+	}
+	for i := range tr.Dirty.Tuples {
+		if r.Float64() >= errRate {
+			continue
+		}
+		t := &tr.Dirty.Tuples[i]
+		col := targets[r.Intn(len(targets))]
+		tr.markError(t.ID, col, t.Cells[col])
+		switch t.Cells[col].Kind {
+		case model.KindInt:
+			t.Cells[col] = model.I(t.Cells[col].Int + int64(1+r.Intn(99)))
+		default:
+			t.Cells[col] = model.S(corruptText(r, t.Cells[col].Str))
+		}
+	}
+	return tr
+}

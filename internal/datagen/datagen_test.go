@@ -1,0 +1,243 @@
+package datagen
+
+import (
+	"testing"
+
+	"bigdansing/internal/core"
+	"bigdansing/internal/engine"
+	"bigdansing/internal/model"
+	"bigdansing/internal/rules"
+)
+
+func TestTaxACleanInstanceSatisfiesFD(t *testing.T) {
+	tr := TaxA(500, 0, 1)
+	// zipcode -> city must hold on the clean data.
+	cityByZip := map[int64]string{}
+	for _, tp := range tr.Clean.Tuples {
+		zip := tp.Cell(1).Int
+		city := tp.Cell(2).String()
+		if prev, ok := cityByZip[zip]; ok && prev != city {
+			t.Fatalf("clean TaxA violates zipcode->city: %d -> %s and %s", zip, prev, city)
+		}
+		cityByZip[zip] = city
+	}
+	if len(tr.Errors) != 0 {
+		t.Error("no errors at rate 0")
+	}
+}
+
+func TestTaxAErrorInjectionRate(t *testing.T) {
+	tr := TaxA(2000, 0.1, 2)
+	dirtyRows := map[int64]bool{}
+	for key := range tr.Errors {
+		id, _ := parseCellKey(key)
+		dirtyRows[id] = true
+	}
+	frac := float64(len(dirtyRows)) / 2000
+	if frac < 0.07 || frac > 0.13 {
+		t.Errorf("dirty row fraction = %v, want ~0.10", frac)
+	}
+	// Errors recorded accurately: dirty differs from clean exactly there.
+	cleanIdx := tr.Clean.ByID()
+	for key, cleanVal := range tr.Errors {
+		id, col := parseCellKey(key)
+		di := cleanIdx[id]
+		if tr.Dirty.Tuples[di].Cell(col).Equal(cleanVal) {
+			t.Errorf("cell %s marked dirty but equals clean value", key)
+		}
+		if !tr.Clean.Tuples[di].Cell(col).Equal(cleanVal) {
+			t.Errorf("ground truth mismatch at %s", key)
+		}
+	}
+}
+
+func TestTaxADeterministicBySeed(t *testing.T) {
+	a := TaxA(100, 0.1, 42)
+	b := TaxA(100, 0.1, 42)
+	for i := range a.Dirty.Tuples {
+		for c := range a.Dirty.Tuples[i].Cells {
+			if !a.Dirty.Tuples[i].Cell(c).Equal(b.Dirty.Tuples[i].Cell(c)) {
+				t.Fatalf("same seed should reproduce: tuple %d col %d", i, c)
+			}
+		}
+	}
+	c := TaxA(100, 0.1, 43)
+	same := true
+	for i := range a.Dirty.Tuples {
+		if !a.Dirty.Tuples[i].Cell(0).Equal(c.Dirty.Tuples[i].Cell(0)) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestTaxBCleanSatisfiesPhi2AndDirtyViolates(t *testing.T) {
+	tr := TaxB(300, 0.1, 3)
+	ctx := engine.New(4)
+	dc, _ := rules.ParseDC("phi2", "t1.rate > t2.rate & t1.salary < t2.salary")
+	rule, err := dc.Compile(TaxSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanRes, err := core.DetectRule(ctx, rule, tr.Clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cleanRes.Violations) != 0 {
+		t.Fatalf("clean TaxB has %d phi2 violations", len(cleanRes.Violations))
+	}
+	dirtyRes, err := core.DetectRule(ctx, rule, tr.Dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirtyRes.Violations) == 0 {
+		t.Error("dirty TaxB should violate phi2")
+	}
+}
+
+func TestTPCHFDHolds(t *testing.T) {
+	tr := TPCH(400, 0.1, 4)
+	addrByCust := map[int64]string{}
+	for _, tp := range tr.Clean.Tuples {
+		ck := tp.Cell(0).Int
+		addr := tp.Cell(2).String()
+		if prev, ok := addrByCust[ck]; ok && prev != addr {
+			t.Fatalf("clean TPCH violates custkey->address")
+		}
+		addrByCust[ck] = addr
+	}
+	if len(tr.Errors) == 0 {
+		t.Error("errors should be injected")
+	}
+}
+
+func TestCustomersDuplicates(t *testing.T) {
+	tr := Customers("cust1", 100, 3, 0.02, 5)
+	// 100 originals x3 exact copies plus 2% edited.
+	if tr.Dirty.Len() < 300 {
+		t.Fatalf("rows = %d, want >= 300", tr.Dirty.Len())
+	}
+	if len(tr.DupPairs) < 200 {
+		t.Errorf("dup pairs = %d, want >= 200 (2 exact copies per original)", len(tr.DupPairs))
+	}
+	// Every recorded pair has identical custkey (copies of one original).
+	byID := tr.Dirty.ByID()
+	for _, p := range tr.DupPairs {
+		a := tr.Dirty.Tuples[byID[p[0]]]
+		b := tr.Dirty.Tuples[byID[p[1]]]
+		if a.Cell(0) != b.Cell(0) {
+			t.Fatalf("dup pair %v crosses customers", p)
+		}
+	}
+}
+
+func TestNCVoter(t *testing.T) {
+	tr := NCVoter(500, 0.2, 6)
+	wantDups := int(500 * 0.2)
+	if len(tr.DupPairs) != wantDups {
+		t.Errorf("dup pairs = %d, want %d", len(tr.DupPairs), wantDups)
+	}
+	if tr.Dirty.Len() != 500+wantDups {
+		t.Errorf("rows = %d", tr.Dirty.Len())
+	}
+}
+
+func TestHAIFDsHoldOnClean(t *testing.T) {
+	tr := HAI(600, 0.1, 7)
+	schema := HAISchema()
+	ctx := engine.New(4)
+	for _, spec := range []string{"zip -> state", "phone -> zip", "providerID -> city, phone"} {
+		fd, err := rules.ParseFD("fd", spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rule, err := fd.Compile(schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.DetectRule(ctx, rule, tr.Clean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Violations) != 0 {
+			t.Errorf("clean HAI violates %s: %d violations", spec, len(res.Violations))
+		}
+		dirtyRes, err := core.DetectRule(ctx, rule, tr.Dirty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dirtyRes.Violations) == 0 {
+			t.Errorf("dirty HAI should violate %s", spec)
+		}
+	}
+}
+
+func TestEvaluatePerfectRepair(t *testing.T) {
+	tr := TaxA(200, 0.1, 8)
+	q := Evaluate(tr, tr.Clean) // repairing to the ground truth is perfect
+	if q.Precision != 1 {
+		t.Errorf("precision = %v, want 1", q.Precision)
+	}
+	if q.Recall != 1 {
+		t.Errorf("recall = %v, want 1", q.Recall)
+	}
+}
+
+func TestEvaluateNoRepair(t *testing.T) {
+	tr := TaxA(200, 0.1, 9)
+	q := Evaluate(tr, tr.Dirty) // doing nothing: no updates, zero recall
+	if q.Updated != 0 || q.Recall != 0 {
+		t.Errorf("quality = %+v", q)
+	}
+}
+
+func TestEvaluatePartialRepair(t *testing.T) {
+	tr := TaxA(200, 0.2, 10)
+	// Repair half the errors correctly, and make one wrong update.
+	rep := tr.Dirty.Clone()
+	idx := rep.ByID()
+	i := 0
+	for key, cleanVal := range tr.Errors {
+		if i%2 == 0 {
+			id, col := parseCellKey(key)
+			rep.Apply(idx, id, col, cleanVal)
+		}
+		i++
+	}
+	rep.Apply(idx, rep.Tuples[0].ID, 0, model.S("WRONG NAME"))
+	q := Evaluate(tr, rep)
+	if q.Precision >= 1 || q.Precision <= 0.5 {
+		t.Errorf("precision = %v, want in (0.5, 1)", q.Precision)
+	}
+	if q.Recall < 0.4 || q.Recall > 0.6 {
+		t.Errorf("recall = %v, want ~0.5", q.Recall)
+	}
+}
+
+func TestDedupQuality(t *testing.T) {
+	tr := &Truth{DupPairs: [][2]int64{{1, 2}, {1, 3}, {10, 11}}}
+	// Detected: (2,3) connects 2-3 (same cluster as 1), (10,11) exact,
+	// (5,6) wrong.
+	q := DedupQuality(tr, [][2]int64{{2, 3}, {10, 11}, {5, 6}})
+	if q.Correct != 2 {
+		t.Errorf("correct = %d, want 2", q.Correct)
+	}
+	// Recall: (1,2) not recalled (1 unseen), (1,3) not recalled, (10,11)
+	// recalled -> 1/3.
+	if q.Recall < 0.32 || q.Recall > 0.34 {
+		t.Errorf("recall = %v, want 1/3", q.Recall)
+	}
+	if q.Precision < 0.66 || q.Precision > 0.67 {
+		t.Errorf("precision = %v, want 2/3", q.Precision)
+	}
+}
+
+func TestParseCellKey(t *testing.T) {
+	id, col := parseCellKey("12345#7")
+	if id != 12345 || col != 7 {
+		t.Errorf("parse = %d,%d", id, col)
+	}
+}

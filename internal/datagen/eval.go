@@ -1,0 +1,174 @@
+package datagen
+
+import (
+	"math"
+
+	"bigdansing/internal/model"
+)
+
+// Quality holds the repair-quality measures of Table 4.
+type Quality struct {
+	// Precision is the ratio of correctly updated cells (exact match with
+	// the ground truth) to all updated cells.
+	Precision float64
+	// Recall is the ratio of correctly restored cells to all injected
+	// errors.
+	Recall float64
+	// Updated and Correct are the raw counts behind Precision.
+	Updated, Correct int
+	// AvgDistance and TotalDistance measure numeric repairs against the
+	// ground truth (the ||R,G||/e and ||R,G|| columns for the hypergraph
+	// algorithm), over the injected-error cells.
+	AvgDistance, TotalDistance float64
+}
+
+// Evaluate compares a repaired instance against the ground truth, following
+// Section 6.6: precision over the cells the repair changed, recall over the
+// injected errors, and euclidean-style distance for numeric attributes.
+func Evaluate(tr *Truth, repaired *model.Relation) Quality {
+	q := Quality{}
+	cleanIdx := tr.Clean.ByID()
+	dirtyIdx := tr.Dirty.ByID()
+	repIdx := repaired.ByID()
+
+	cellOf := func(rel *model.Relation, idx map[int64]int, id int64, col int) (model.Value, bool) {
+		i, ok := idx[id]
+		if !ok {
+			return model.Value{}, false
+		}
+		return rel.Tuples[i].Cell(col), true
+	}
+
+	// Precision: walk every cell, find updates (repaired != dirty).
+	for _, t := range repaired.Tuples {
+		di, ok := dirtyIdx[t.ID]
+		if !ok {
+			continue
+		}
+		for c := range t.Cells {
+			dv := tr.Dirty.Tuples[di].Cell(c)
+			rv := t.Cell(c)
+			if rv.Equal(dv) {
+				continue
+			}
+			q.Updated++
+			if cv, ok := cellOf(tr.Clean, cleanIdx, t.ID, c); ok && rv.Equal(cv) {
+				q.Correct++
+			}
+		}
+	}
+	if q.Updated > 0 {
+		q.Precision = float64(q.Correct) / float64(q.Updated)
+	}
+
+	// Recall and distance over the injected errors.
+	restored := 0
+	for key, cleanVal := range tr.Errors {
+		id, col := parseCellKey(key)
+		rv, ok := cellOf(repaired, repIdx, id, col)
+		if !ok {
+			continue
+		}
+		if rv.Equal(cleanVal) {
+			restored++
+		}
+		if cleanVal.Kind == model.KindFloat || cleanVal.Kind == model.KindInt {
+			d := rv.Float() - cleanVal.Float()
+			q.TotalDistance += math.Abs(d)
+		}
+	}
+	if len(tr.Errors) > 0 {
+		q.Recall = float64(restored) / float64(len(tr.Errors))
+		q.AvgDistance = q.TotalDistance / float64(len(tr.Errors))
+	}
+	return q
+}
+
+// parseCellKey splits "tupleID#col".
+func parseCellKey(key string) (int64, int) {
+	var id int64
+	var col int
+	neg := false
+	i := 0
+	if i < len(key) && key[i] == '-' {
+		neg = true
+		i++
+	}
+	for ; i < len(key) && key[i] != '#'; i++ {
+		id = id*10 + int64(key[i]-'0')
+	}
+	if neg {
+		id = -id
+	}
+	for i++; i < len(key); i++ {
+		col = col*10 + int(key[i]-'0')
+	}
+	return id, col
+}
+
+// DedupQuality measures a deduplication run. Because injected duplicates
+// form clusters (an original replicated several times), correctness is
+// judged cluster-wise: a detected pair is correct when both tuples belong
+// to the same duplicate cluster, and a truth pair counts as recalled when
+// the detected pairs connect its two tuples (directly or transitively).
+func DedupQuality(tr *Truth, detected [][2]int64) Quality {
+	truthUF := graphLikeUF{}
+	for _, p := range tr.DupPairs {
+		truthUF.union(p[0], p[1])
+	}
+	correct := 0
+	detUF := graphLikeUF{}
+	for _, p := range detected {
+		if truthUF.sameKnown(p[0], p[1]) {
+			correct++
+		}
+		detUF.union(p[0], p[1])
+	}
+	recalled := 0
+	for _, p := range tr.DupPairs {
+		if detUF.sameKnown(p[0], p[1]) {
+			recalled++
+		}
+	}
+	q := Quality{Updated: len(detected), Correct: correct}
+	if len(detected) > 0 {
+		q.Precision = float64(correct) / float64(len(detected))
+	}
+	if len(tr.DupPairs) > 0 {
+		q.Recall = float64(recalled) / float64(len(tr.DupPairs))
+	}
+	return q
+}
+
+// graphLikeUF is a tiny lazy union-find over int64 keys.
+type graphLikeUF map[int64]int64
+
+func (u graphLikeUF) find(x int64) int64 {
+	r, ok := u[x]
+	if !ok || r == x {
+		return x
+	}
+	root := u.find(r)
+	u[x] = root
+	return root
+}
+
+func (u graphLikeUF) union(a, b int64) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u[ra] = rb
+	}
+	if _, ok := u[a]; !ok {
+		u[a] = rb
+	}
+	if _, ok := u[b]; !ok {
+		u[b] = rb
+	}
+}
+
+// sameKnown reports whether both keys were seen and share a set.
+func (u graphLikeUF) sameKnown(a, b int64) bool {
+	_, okA := u[a]
+	_, okB := u[b]
+	return okA && okB && u.find(a) == u.find(b)
+}

@@ -1,0 +1,109 @@
+package engine
+
+// PairOf is an ordered pair of same-typed elements, the output unit of the
+// cartesian transformations below.
+type PairOf[T any] struct {
+	Left, Right T
+}
+
+// Cartesian computes the full cross product of two datasets: every (a, b).
+// The right side is collected and broadcast to every left partition, the
+// strategy Spark uses when one side is small.
+func Cartesian[A, B any](da *Dataset[A], db *Dataset[B]) *Dataset[JoinRow[A, B]] {
+	ctx := da.ctx
+	if da.err != nil {
+		return errDataset[JoinRow[A, B]](ctx, da.err)
+	}
+	if db.err != nil {
+		return errDataset[JoinRow[A, B]](ctx, db.err)
+	}
+	right, _ := db.Collect()
+	ctx.stats.recordsShuffled.Add(int64(len(right)) * int64(len(da.parts)))
+	return FlatMap(da, func(a A) []JoinRow[A, B] {
+		out := make([]JoinRow[A, B], len(right))
+		for i, b := range right {
+			out[i] = JoinRow[A, B]{Left: a, Right: b}
+		}
+		return out
+	})
+}
+
+// SelfCartesian materializes all ordered pairs (a_i, a_j) with i != j of one
+// dataset: n*(n-1) pairs. It is the naive CrossProduct physical operator the
+// evaluation's Figure 11(c) ablates against.
+func SelfCartesian[T any](d *Dataset[T]) *Dataset[PairOf[T]] {
+	if d.err != nil {
+		return errDataset[PairOf[T]](d.ctx, d.err)
+	}
+	all, _ := d.Collect()
+	d.ctx.stats.recordsShuffled.Add(int64(len(all)) * int64(len(d.parts)))
+	// Index the elements so each partition can skip self-pairs globally.
+	type indexed struct {
+		pos int
+		v   T
+	}
+	idx := make([]indexed, len(all))
+	for i, v := range all {
+		idx[i] = indexed{pos: i, v: v}
+	}
+	di := Parallelize(d.ctx, idx, len(d.parts))
+	return FlatMap(di, func(a indexed) []PairOf[T] {
+		out := make([]PairOf[T], 0, len(all)-1)
+		for j, b := range all {
+			if j == a.pos {
+				continue
+			}
+			out = append(out, PairOf[T]{Left: a.v, Right: b})
+		}
+		return out
+	})
+}
+
+// SelfCartesianUnique materializes the unordered unique pairs (a_i, a_j)
+// with i < j: n*(n-1)/2 pairs. This is the selfCartesian() extension the
+// paper added to Spark to implement UCrossProduct (Appendix G.1).
+func SelfCartesianUnique[T any](d *Dataset[T]) *Dataset[PairOf[T]] {
+	if d.err != nil {
+		return errDataset[PairOf[T]](d.ctx, d.err)
+	}
+	all, _ := d.Collect()
+	d.ctx.stats.recordsShuffled.Add(int64(len(all)) * int64(len(d.parts)))
+	type indexed struct {
+		pos int
+		v   T
+	}
+	idx := make([]indexed, len(all))
+	for i, v := range all {
+		idx[i] = indexed{pos: i, v: v}
+	}
+	di := Parallelize(d.ctx, idx, len(d.parts))
+	return FlatMap(di, func(a indexed) []PairOf[T] {
+		if a.pos+1 >= len(all) {
+			return nil
+		}
+		out := make([]PairOf[T], 0, len(all)-a.pos-1)
+		for _, b := range all[a.pos+1:] {
+			out = append(out, PairOf[T]{Left: a.v, Right: b})
+		}
+		return out
+	})
+}
+
+// BlockPairsUnique enumerates the unique unordered pairs inside each group
+// of a grouped dataset — UCrossProduct applied blockwise, which is exactly
+// the Iterate of Figure 2 (four pairs instead of thirteen).
+func BlockPairsUnique[K comparable, T any](d *Dataset[Pair[K, []T]]) *Dataset[PairOf[T]] {
+	return FlatMap(d, func(g Pair[K, []T]) []PairOf[T] {
+		us := g.Value
+		if len(us) < 2 {
+			return nil
+		}
+		out := make([]PairOf[T], 0, len(us)*(len(us)-1)/2)
+		for i := 0; i < len(us); i++ {
+			for j := i + 1; j < len(us); j++ {
+				out = append(out, PairOf[T]{Left: us[i], Right: us[j]})
+			}
+		}
+		return out
+	})
+}

@@ -1,0 +1,171 @@
+// Package engine implements the in-memory parallel dataflow substrate that
+// plays the role Apache Spark plays in the paper: partitioned datasets,
+// narrow transformations (map, filter), and wide transformations that
+// shuffle data between partitions (group-by-key, joins, range partitioning,
+// cartesian products).
+//
+// A Context models a cluster: its parallelism is the number of workers
+// ("nodes" in the paper's multi-node experiments), and its Stats expose the
+// task and shuffle volumes the paper's optimizations aim to reduce.
+//
+// Transformations are eager: each one runs a parallel stage and materializes
+// its result. Errors — including panics inside user functions — stick to the
+// dataset and propagate through downstream transformations until an action
+// (Collect, Count) reports them, in the spirit of Spark job failure.
+package engine
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Stats accumulates execution counters for one Context. All fields are
+// updated atomically; read them with the accessor methods.
+type Stats struct {
+	tasks           atomic.Int64
+	stages          atomic.Int64
+	recordsShuffled atomic.Int64
+	recordsRead     atomic.Int64
+}
+
+// Tasks returns the number of partition tasks executed.
+func (s *Stats) Tasks() int64 { return s.tasks.Load() }
+
+// Stages returns the number of parallel stages executed.
+func (s *Stats) Stages() int64 { return s.stages.Load() }
+
+// RecordsShuffled returns the number of records moved across partitions by
+// wide transformations.
+func (s *Stats) RecordsShuffled() int64 { return s.recordsShuffled.Load() }
+
+// RecordsRead returns the number of records ingested by Parallelize.
+func (s *Stats) RecordsRead() int64 { return s.recordsRead.Load() }
+
+// Reset zeroes all counters.
+func (s *Stats) Reset() {
+	s.tasks.Store(0)
+	s.stages.Store(0)
+	s.recordsShuffled.Store(0)
+	s.recordsRead.Store(0)
+}
+
+// Context is the execution environment for datasets: a fixed-size worker
+// pool plus statistics. A Context is safe for concurrent use.
+type Context struct {
+	parallelism int
+	stats       Stats
+}
+
+// New creates a Context with the given parallelism (number of workers).
+// Non-positive parallelism defaults to GOMAXPROCS.
+func New(parallelism int) *Context {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	return &Context{parallelism: parallelism}
+}
+
+// Parallelism returns the number of workers.
+func (c *Context) Parallelism() int { return c.parallelism }
+
+// Stats returns the context's statistics.
+func (c *Context) Stats() *Stats { return &c.stats }
+
+// runParts executes f for every partition index in [0, n) using at most
+// Parallelism workers. A panic inside f is recovered and returned as an
+// error naming the partition, so one bad record fails the stage rather than
+// the process.
+func (c *Context) runParts(n int, f func(part int)) error {
+	if n == 0 {
+		return nil
+	}
+	c.stats.stages.Add(1)
+	c.stats.tasks.Add(int64(n))
+	workers := c.parallelism
+	if workers > n {
+		workers = n
+	}
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		firstEr error
+	)
+	run := func(part int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("engine: task for partition %d panicked: %v", part, r)
+			}
+		}()
+		f(part)
+		return nil
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := run(i); err != nil {
+					mu.Lock()
+					if firstEr == nil {
+						firstEr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstEr
+}
+
+// hashAny hashes a comparable key for hash partitioning. Strings and
+// integers — the key types BigDansing produces — take fast paths.
+func hashAny(k any) uint64 {
+	switch v := k.(type) {
+	case string:
+		h := fnv.New64a()
+		h.Write([]byte(v))
+		return h.Sum64()
+	case int:
+		return mix64(uint64(v))
+	case int64:
+		return mix64(uint64(v))
+	case int32:
+		return mix64(uint64(v))
+	case uint64:
+		return mix64(v)
+	case float64:
+		return mix64(math.Float64bits(v))
+	case bool:
+		if v {
+			return mix64(1)
+		}
+		return mix64(0)
+	default:
+		h := fnv.New64a()
+		h.Write([]byte(fmt.Sprint(v)))
+		return h.Sum64()
+	}
+}
+
+// mix64 is a finalizer-style bit mixer (splitmix64) giving integer keys a
+// uniform spread over partitions.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// itoa is a tiny helper used in diagnostics.
+func itoa(i int) string { return strconv.Itoa(i) }

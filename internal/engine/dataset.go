@@ -1,0 +1,262 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Dataset is a partitioned, immutable collection of T — the analogue of a
+// Spark RDD. Transformations produce new datasets; the error of a failed
+// stage sticks to the result and surfaces at the next action.
+type Dataset[T any] struct {
+	ctx   *Context
+	parts [][]T
+	err   error
+}
+
+// Parallelize slices data into n partitions (n <= 0 means the context's
+// parallelism) and wraps it in a Dataset. The input slice is not copied;
+// callers must not mutate it afterwards.
+func Parallelize[T any](ctx *Context, data []T, n int) *Dataset[T] {
+	if n <= 0 {
+		n = ctx.parallelism
+	}
+	if n > len(data) && len(data) > 0 {
+		n = len(data)
+	}
+	if len(data) == 0 {
+		n = 1
+	}
+	parts := make([][]T, n)
+	chunk := (len(data) + n - 1) / n
+	for i := 0; i < n; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if lo > len(data) {
+			lo = len(data)
+		}
+		if hi > len(data) {
+			hi = len(data)
+		}
+		parts[i] = data[lo:hi:hi]
+	}
+	ctx.stats.recordsRead.Add(int64(len(data)))
+	return &Dataset[T]{ctx: ctx, parts: parts}
+}
+
+// fromParts wraps pre-built partitions.
+func fromParts[T any](ctx *Context, parts [][]T) *Dataset[T] {
+	if len(parts) == 0 {
+		parts = make([][]T, 1)
+	}
+	return &Dataset[T]{ctx: ctx, parts: parts}
+}
+
+// errDataset propagates a stage failure.
+func errDataset[T any](ctx *Context, err error) *Dataset[T] {
+	return &Dataset[T]{ctx: ctx, parts: make([][]T, 1), err: err}
+}
+
+// Context returns the dataset's execution context.
+func (d *Dataset[T]) Context() *Context { return d.ctx }
+
+// Err returns the sticky error, if any stage failed.
+func (d *Dataset[T]) Err() error { return d.err }
+
+// NumPartitions returns the partition count.
+func (d *Dataset[T]) NumPartitions() int { return len(d.parts) }
+
+// Partition returns the contents of one partition. Callers must not mutate
+// the returned slice.
+func (d *Dataset[T]) Partition(i int) []T { return d.parts[i] }
+
+// Collect gathers all elements into one slice, in partition order.
+func (d *Dataset[T]) Collect() ([]T, error) {
+	if d.err != nil {
+		return nil, d.err
+	}
+	total := 0
+	for _, p := range d.parts {
+		total += len(p)
+	}
+	out := make([]T, 0, total)
+	for _, p := range d.parts {
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+// MustCollect is Collect for callers that treat failure as fatal (tests,
+// examples).
+func (d *Dataset[T]) MustCollect() []T {
+	out, err := d.Collect()
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// Count returns the number of elements.
+func (d *Dataset[T]) Count() (int, error) {
+	if d.err != nil {
+		return 0, d.err
+	}
+	n := 0
+	for _, p := range d.parts {
+		n += len(p)
+	}
+	return n, nil
+}
+
+// Map applies f to every element in parallel.
+func Map[T, U any](d *Dataset[T], f func(T) U) *Dataset[U] {
+	if d.err != nil {
+		return errDataset[U](d.ctx, d.err)
+	}
+	out := make([][]U, len(d.parts))
+	err := d.ctx.runParts(len(d.parts), func(p int) {
+		in := d.parts[p]
+		res := make([]U, len(in))
+		for i, v := range in {
+			res[i] = f(v)
+		}
+		out[p] = res
+	})
+	if err != nil {
+		return errDataset[U](d.ctx, err)
+	}
+	return fromParts(d.ctx, out)
+}
+
+// FlatMap applies f to every element and concatenates the results.
+func FlatMap[T, U any](d *Dataset[T], f func(T) []U) *Dataset[U] {
+	if d.err != nil {
+		return errDataset[U](d.ctx, d.err)
+	}
+	out := make([][]U, len(d.parts))
+	err := d.ctx.runParts(len(d.parts), func(p int) {
+		var res []U
+		for _, v := range d.parts[p] {
+			res = append(res, f(v)...)
+		}
+		out[p] = res
+	})
+	if err != nil {
+		return errDataset[U](d.ctx, err)
+	}
+	return fromParts(d.ctx, out)
+}
+
+// MapPartitions applies f to whole partitions, the hook wrappers use to
+// amortize per-call overhead (the paper's physical operators receive sets of
+// units, not single units).
+func MapPartitions[T, U any](d *Dataset[T], f func(part int, in []T) []U) *Dataset[U] {
+	if d.err != nil {
+		return errDataset[U](d.ctx, d.err)
+	}
+	out := make([][]U, len(d.parts))
+	err := d.ctx.runParts(len(d.parts), func(p int) {
+		out[p] = f(p, d.parts[p])
+	})
+	if err != nil {
+		return errDataset[U](d.ctx, err)
+	}
+	return fromParts(d.ctx, out)
+}
+
+// Filter keeps the elements for which pred is true.
+func Filter[T any](d *Dataset[T], pred func(T) bool) *Dataset[T] {
+	if d.err != nil {
+		return d
+	}
+	out := make([][]T, len(d.parts))
+	err := d.ctx.runParts(len(d.parts), func(p int) {
+		var res []T
+		for _, v := range d.parts[p] {
+			if pred(v) {
+				res = append(res, v)
+			}
+		}
+		out[p] = res
+	})
+	if err != nil {
+		return errDataset[T](d.ctx, err)
+	}
+	return fromParts(d.ctx, out)
+}
+
+// Union concatenates datasets of the same element type under one context.
+func Union[T any](ds ...*Dataset[T]) *Dataset[T] {
+	if len(ds) == 0 {
+		return nil
+	}
+	ctx := ds[0].ctx
+	var parts [][]T
+	for _, d := range ds {
+		if d.err != nil {
+			return errDataset[T](ctx, d.err)
+		}
+		parts = append(parts, d.parts...)
+	}
+	return fromParts(ctx, parts)
+}
+
+// Repartition redistributes elements round-robin into n partitions, moving
+// every record (a full shuffle).
+func Repartition[T any](d *Dataset[T], n int) *Dataset[T] {
+	if d.err != nil {
+		return d
+	}
+	if n <= 0 {
+		n = d.ctx.parallelism
+	}
+	all, _ := d.Collect()
+	d.ctx.stats.recordsShuffled.Add(int64(len(all)))
+	return Parallelize(d.ctx, all, n)
+}
+
+// Reduce folds all elements with a binary, associative function. It returns
+// an error on an empty dataset.
+func Reduce[T any](d *Dataset[T], f func(a, b T) T) (T, error) {
+	var zero T
+	if d.err != nil {
+		return zero, d.err
+	}
+	partial := make([]T, 0, len(d.parts))
+	var hasAny []bool = make([]bool, len(d.parts))
+	partials := make([]T, len(d.parts))
+	err := d.ctx.runParts(len(d.parts), func(p int) {
+		in := d.parts[p]
+		if len(in) == 0 {
+			return
+		}
+		acc := in[0]
+		for _, v := range in[1:] {
+			acc = f(acc, v)
+		}
+		partials[p] = acc
+		hasAny[p] = true
+	})
+	if err != nil {
+		return zero, err
+	}
+	for p, ok := range hasAny {
+		if ok {
+			partial = append(partial, partials[p])
+		}
+	}
+	if len(partial) == 0 {
+		return zero, errors.New("engine: reduce of empty dataset")
+	}
+	acc := partial[0]
+	for _, v := range partial[1:] {
+		acc = f(acc, v)
+	}
+	return acc, nil
+}
+
+// String describes the dataset shape for diagnostics.
+func (d *Dataset[T]) String() string {
+	n, _ := d.Count()
+	return fmt.Sprintf("dataset(%d elems, %s parts)", n, itoa(len(d.parts)))
+}

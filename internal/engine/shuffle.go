@@ -1,0 +1,211 @@
+package engine
+
+// Pair is a key-value record, the currency of wide transformations.
+type Pair[K comparable, V any] struct {
+	Key   K
+	Value V
+}
+
+// KV builds a Pair.
+func KV[K comparable, V any](k K, v V) Pair[K, V] { return Pair[K, V]{Key: k, Value: v} }
+
+// KeyBy turns a dataset into a pair dataset using a key extractor.
+func KeyBy[T any, K comparable](d *Dataset[T], key func(T) K) *Dataset[Pair[K, T]] {
+	return Map(d, func(t T) Pair[K, T] { return KV(key(t), t) })
+}
+
+// shuffleByKey hash-partitions pairs into n buckets by key. This is the wide
+// dependency every group/join transformation shares: each input partition
+// scatters its records, then the buckets are concatenated per target.
+func shuffleByKey[K comparable, V any](d *Dataset[Pair[K, V]], n int) ([][]Pair[K, V], error) {
+	if n <= 0 {
+		n = d.ctx.parallelism
+	}
+	// scatter[src][dst] collects records from source partition src bound for
+	// destination dst; writing per-source keeps the stage lock-free.
+	scatter := make([][][]Pair[K, V], len(d.parts))
+	err := d.ctx.runParts(len(d.parts), func(p int) {
+		local := make([][]Pair[K, V], n)
+		for _, kv := range d.parts[p] {
+			dst := int(hashAny(kv.Key) % uint64(n))
+			local[dst] = append(local[dst], kv)
+		}
+		scatter[p] = local
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Pair[K, V], n)
+	gerr := d.ctx.runParts(n, func(dst int) {
+		var bucket []Pair[K, V]
+		for src := range scatter {
+			bucket = append(bucket, scatter[src][dst]...)
+		}
+		d.ctx.stats.recordsShuffled.Add(int64(len(bucket)))
+		out[dst] = bucket
+	})
+	if gerr != nil {
+		return nil, gerr
+	}
+	return out, nil
+}
+
+// GroupByKey shuffles pairs and groups the values of each key, like Spark's
+// groupByKey. The result has one Pair per distinct key.
+func GroupByKey[K comparable, V any](d *Dataset[Pair[K, V]]) *Dataset[Pair[K, []V]] {
+	if d.err != nil {
+		return errDataset[Pair[K, []V]](d.ctx, d.err)
+	}
+	buckets, err := shuffleByKey(d, d.ctx.parallelism)
+	if err != nil {
+		return errDataset[Pair[K, []V]](d.ctx, err)
+	}
+	out := make([][]Pair[K, []V], len(buckets))
+	gerr := d.ctx.runParts(len(buckets), func(p int) {
+		groups := make(map[K][]V)
+		var order []K
+		for _, kv := range buckets[p] {
+			if _, seen := groups[kv.Key]; !seen {
+				order = append(order, kv.Key)
+			}
+			groups[kv.Key] = append(groups[kv.Key], kv.Value)
+		}
+		res := make([]Pair[K, []V], 0, len(order))
+		for _, k := range order {
+			res = append(res, KV(k, groups[k]))
+		}
+		out[p] = res
+	})
+	if gerr != nil {
+		return errDataset[Pair[K, []V]](d.ctx, gerr)
+	}
+	return fromParts(d.ctx, out)
+}
+
+// ReduceByKey combines values per key with a map-side combine before the
+// shuffle, the optimization the distributed equivalence-class algorithm's
+// word-count structure relies on (Section 5.2).
+func ReduceByKey[K comparable, V any](d *Dataset[Pair[K, V]], combine func(a, b V) V) *Dataset[Pair[K, V]] {
+	if d.err != nil {
+		return d
+	}
+	// Map-side combine.
+	pre := MapPartitions(d, func(_ int, in []Pair[K, V]) []Pair[K, V] {
+		acc := make(map[K]V)
+		var order []K
+		for _, kv := range in {
+			if cur, seen := acc[kv.Key]; seen {
+				acc[kv.Key] = combine(cur, kv.Value)
+			} else {
+				acc[kv.Key] = kv.Value
+				order = append(order, kv.Key)
+			}
+		}
+		res := make([]Pair[K, V], 0, len(order))
+		for _, k := range order {
+			res = append(res, KV(k, acc[k]))
+		}
+		return res
+	})
+	if pre.err != nil {
+		return pre
+	}
+	grouped := GroupByKey(pre)
+	return Map(grouped, func(g Pair[K, []V]) Pair[K, V] {
+		acc := g.Value[0]
+		for _, v := range g.Value[1:] {
+			acc = combine(acc, v)
+		}
+		return KV(g.Key, acc)
+	})
+}
+
+// CoGroup shuffles two pair datasets together and, per key, collects the
+// values from each side into bags — Pig's COGROUP, the model for the
+// paper's CoBlock enhancer.
+func CoGroup[K comparable, A, B any](da *Dataset[Pair[K, A]], db *Dataset[Pair[K, B]]) *Dataset[Pair[K, CoGrouped[A, B]]] {
+	ctx := da.ctx
+	if da.err != nil {
+		return errDataset[Pair[K, CoGrouped[A, B]]](ctx, da.err)
+	}
+	if db.err != nil {
+		return errDataset[Pair[K, CoGrouped[A, B]]](ctx, db.err)
+	}
+	n := ctx.parallelism
+	ba, err := shuffleByKey(da, n)
+	if err != nil {
+		return errDataset[Pair[K, CoGrouped[A, B]]](ctx, err)
+	}
+	bb, err := shuffleByKey(db, n)
+	if err != nil {
+		return errDataset[Pair[K, CoGrouped[A, B]]](ctx, err)
+	}
+	out := make([][]Pair[K, CoGrouped[A, B]], n)
+	gerr := ctx.runParts(n, func(p int) {
+		groups := make(map[K]*CoGrouped[A, B])
+		var order []K
+		for _, kv := range ba[p] {
+			g, seen := groups[kv.Key]
+			if !seen {
+				g = &CoGrouped[A, B]{}
+				groups[kv.Key] = g
+				order = append(order, kv.Key)
+			}
+			g.Left = append(g.Left, kv.Value)
+		}
+		for _, kv := range bb[p] {
+			g, seen := groups[kv.Key]
+			if !seen {
+				g = &CoGrouped[A, B]{}
+				groups[kv.Key] = g
+				order = append(order, kv.Key)
+			}
+			g.Right = append(g.Right, kv.Value)
+		}
+		res := make([]Pair[K, CoGrouped[A, B]], 0, len(order))
+		for _, k := range order {
+			res = append(res, KV(k, *groups[k]))
+		}
+		out[p] = res
+	})
+	if gerr != nil {
+		return errDataset[Pair[K, CoGrouped[A, B]]](ctx, gerr)
+	}
+	return fromParts(ctx, out)
+}
+
+// CoGrouped holds the per-key bags produced by CoGroup.
+type CoGrouped[A, B any] struct {
+	Left  []A
+	Right []B
+}
+
+// Join computes the inner equi-join of two pair datasets.
+func Join[K comparable, A, B any](da *Dataset[Pair[K, A]], db *Dataset[Pair[K, B]]) *Dataset[Pair[K, JoinRow[A, B]]] {
+	cg := CoGroup(da, db)
+	return FlatMap(cg, func(g Pair[K, CoGrouped[A, B]]) []Pair[K, JoinRow[A, B]] {
+		if len(g.Value.Left) == 0 || len(g.Value.Right) == 0 {
+			return nil
+		}
+		out := make([]Pair[K, JoinRow[A, B]], 0, len(g.Value.Left)*len(g.Value.Right))
+		for _, a := range g.Value.Left {
+			for _, b := range g.Value.Right {
+				out = append(out, KV(g.Key, JoinRow[A, B]{Left: a, Right: b}))
+			}
+		}
+		return out
+	})
+}
+
+// JoinRow is one matched pair from Join.
+type JoinRow[A, B any] struct {
+	Left  A
+	Right B
+}
+
+// Distinct removes duplicates using a key function to identify elements.
+func Distinct[T any, K comparable](d *Dataset[T], key func(T) K) *Dataset[T] {
+	kv := KeyBy(d, key)
+	grouped := GroupByKey(kv)
+	return Map(grouped, func(g Pair[K, []T]) T { return g.Value[0] })
+}

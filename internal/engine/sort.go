@@ -1,0 +1,121 @@
+package engine
+
+import (
+	"sort"
+)
+
+// SortBy globally sorts the dataset: elements are range-partitioned using
+// sampled boundaries, then each partition is sorted locally — the same
+// sample-sort structure as Spark's sortByKey. The result's partitions are
+// ordered: every element of partition i precedes every element of
+// partition i+1 under less.
+func SortBy[T any](d *Dataset[T], less func(a, b T) bool, n int) *Dataset[T] {
+	if d.err != nil {
+		return d
+	}
+	if n <= 0 {
+		n = d.ctx.parallelism
+	}
+	rp := RangePartitionBy(d, less, n)
+	if rp.err != nil {
+		return rp
+	}
+	return MapPartitions(rp, func(_ int, in []T) []T {
+		out := make([]T, len(in))
+		copy(out, in)
+		sort.SliceStable(out, func(i, j int) bool { return less(out[i], out[j]) })
+		return out
+	})
+}
+
+// RangePartitionBy redistributes elements into n partitions such that all
+// elements of partition i precede those of partition i+1 under less, without
+// sorting within partitions. Boundaries are chosen by deterministic sampling
+// (every k-th element), good enough for the balanced partitioning OCJoin's
+// partitioning phase requires.
+func RangePartitionBy[T any](d *Dataset[T], less func(a, b T) bool, n int) *Dataset[T] {
+	if d.err != nil {
+		return d
+	}
+	if n <= 0 {
+		n = d.ctx.parallelism
+	}
+	total := 0
+	for _, p := range d.parts {
+		total += len(p)
+	}
+	if total == 0 {
+		return fromParts(d.ctx, make([][]T, n))
+	}
+	if n == 1 {
+		all, _ := d.Collect()
+		return fromParts(d.ctx, [][]T{all})
+	}
+
+	// Sample ~32 candidates per output partition, deterministically.
+	sampleTarget := 32 * n
+	step := total / sampleTarget
+	if step < 1 {
+		step = 1
+	}
+	var sample []T
+	i := 0
+	for _, p := range d.parts {
+		for _, v := range p {
+			if i%step == 0 {
+				sample = append(sample, v)
+			}
+			i++
+		}
+	}
+	sort.SliceStable(sample, func(a, b int) bool { return less(sample[a], sample[b]) })
+	// n-1 boundaries at sample quantiles.
+	bounds := make([]T, 0, n-1)
+	for k := 1; k < n; k++ {
+		idx := k * len(sample) / n
+		if idx >= len(sample) {
+			idx = len(sample) - 1
+		}
+		bounds = append(bounds, sample[idx])
+	}
+
+	target := func(v T) int {
+		// First boundary strictly greater than v determines the partition.
+		lo, hi := 0, len(bounds)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if less(v, bounds[mid]) {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		return lo
+	}
+
+	scatter := make([][][]T, len(d.parts))
+	err := d.ctx.runParts(len(d.parts), func(p int) {
+		local := make([][]T, n)
+		for _, v := range d.parts[p] {
+			dst := target(v)
+			local[dst] = append(local[dst], v)
+		}
+		scatter[p] = local
+	})
+	if err != nil {
+		return errDataset[T](d.ctx, err)
+	}
+	out := make([][]T, n)
+	gerr := d.ctx.runParts(n, func(dst int) {
+		var bucket []T
+		for src := range scatter {
+			bucket = append(bucket, scatter[src][dst]...)
+		}
+		d.ctx.stats.recordsShuffled.Add(int64(len(bucket)))
+		out[dst] = bucket
+	})
+	if gerr != nil {
+		return errDataset[T](d.ctx, gerr)
+	}
+	return fromParts(d.ctx, out)
+}

@@ -1,0 +1,182 @@
+package engine
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSortByGlobalOrder(t *testing.T) {
+	ctx := New(4)
+	r := rand.New(rand.NewSource(1))
+	data := make([]int, 5000)
+	for i := range data {
+		data[i] = r.Intn(1000)
+	}
+	sorted := SortBy(Parallelize(ctx, data, 8), func(a, b int) bool { return a < b }, 6)
+	got, err := sorted.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(data) {
+		t.Fatalf("lost elements: %d", len(got))
+	}
+	if !sort.IntsAreSorted(got) {
+		t.Fatal("global order violated")
+	}
+}
+
+func TestRangePartitionProperties(t *testing.T) {
+	ctx := New(4)
+	f := func(raw []int16, partsRaw uint8) bool {
+		data := make([]int, len(raw))
+		for i, v := range raw {
+			data[i] = int(v)
+		}
+		n := int(partsRaw%7) + 1
+		d := RangePartitionBy(Parallelize(ctx, data, 4), func(a, b int) bool { return a < b }, n)
+		// Property 1: no element lost or invented.
+		got, err := d.Collect()
+		if err != nil {
+			return false
+		}
+		sort.Ints(got)
+		want := append([]int(nil), data...)
+		sort.Ints(want)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		// Property 2: partition i's max <= partition i+1's min.
+		prevMax := 0
+		prevSet := false
+		for p := 0; p < d.NumPartitions(); p++ {
+			part := d.Partition(p)
+			if len(part) == 0 {
+				continue
+			}
+			mn, mx := part[0], part[0]
+			for _, v := range part {
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+			}
+			if prevSet && mn < prevMax {
+				return false
+			}
+			prevMax = mx
+			prevSet = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortSinglePartition(t *testing.T) {
+	ctx := New(2)
+	d := SortBy(Parallelize(ctx, []int{3, 1, 2}, 2), func(a, b int) bool { return a < b }, 1)
+	got, _ := d.Collect()
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("sorted = %v", got)
+	}
+}
+
+func TestSortEmpty(t *testing.T) {
+	ctx := New(2)
+	d := SortBy(Parallelize(ctx, []int{}, 0), func(a, b int) bool { return a < b }, 3)
+	if n, _ := d.Count(); n != 0 {
+		t.Error("empty sort")
+	}
+}
+
+func TestCartesian(t *testing.T) {
+	ctx := New(4)
+	a := Parallelize(ctx, []int{1, 2, 3}, 2)
+	b := Parallelize(ctx, []string{"x", "y"}, 2)
+	got, err := Cartesian(a, b).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 6 {
+		t.Fatalf("cartesian size = %d", len(got))
+	}
+}
+
+func TestSelfCartesianCounts(t *testing.T) {
+	ctx := New(4)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%20) + 1
+		d := Parallelize(ctx, ints(n), 3)
+		full, err := SelfCartesian(d).Count()
+		if err != nil {
+			return false
+		}
+		uniq, err := SelfCartesianUnique(d).Count()
+		if err != nil {
+			return false
+		}
+		return full == n*(n-1) && uniq == n*(n-1)/2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelfCartesianUniquePairsAreUnique(t *testing.T) {
+	ctx := New(4)
+	d := Parallelize(ctx, ints(15), 4)
+	pairs, err := SelfCartesianUnique(d).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[[2]int]bool{}
+	for _, p := range pairs {
+		if p.Left == p.Right {
+			t.Fatalf("self pair %v", p)
+		}
+		k := [2]int{p.Left, p.Right}
+		if p.Left > p.Right {
+			k = [2]int{p.Right, p.Left}
+		}
+		if seen[k] {
+			t.Fatalf("duplicate pair %v", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestBlockPairsUnique(t *testing.T) {
+	ctx := New(4)
+	groups := []Pair[string, []int]{
+		KV("b1", []int{1, 2, 3}),    // 3 pairs
+		KV("b2", []int{4}),          // 0 pairs
+		KV("b3", []int{5, 6, 7, 8}), // 6 pairs
+		KV("b4", []int{}),           // 0 pairs
+	}
+	d := Parallelize(ctx, groups, 2)
+	pairs, err := BlockPairsUnique(d).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 9 {
+		t.Fatalf("pairs = %d, want 9", len(pairs))
+	}
+	// No cross-block pairs: 1..3 never pairs with 5..8.
+	for _, p := range pairs {
+		inB1 := p.Left <= 3
+		inB1R := p.Right <= 3
+		if inB1 != inB1R {
+			t.Fatalf("cross-block pair %v", p)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bigdansing/internal/baseline"
+	"bigdansing/internal/core"
+	"bigdansing/internal/datagen"
+	"bigdansing/internal/engine"
+	"bigdansing/internal/mapred"
+	"bigdansing/internal/model"
+)
+
+// system names used across the detection figures.
+const (
+	sysBigDansing = "bigdansing"
+	sysBDHadoop   = "bigdansing-hadoop"
+	sysNadeef     = "nadeef"
+	sysPostgres   = "postgresql"
+	sysSparkSQL   = "spark-sql"
+	sysShark      = "shark"
+)
+
+// detectWith runs one system's violation detection and returns seconds.
+func detectWith(cfg Config, system string, rule *core.Rule, rel *model.Relation) (float64, error) {
+	switch system {
+	case sysBigDansing:
+		ctx := engine.New(cfg.Workers)
+		return timeIt(func() error {
+			_, err := core.DetectRule(ctx, rule, rel)
+			return err
+		})
+	case sysBDHadoop:
+		eng, err := mapred.New("", cfg.Workers)
+		if err != nil {
+			return 0, err
+		}
+		defer eng.Close()
+		return timeIt(func() error {
+			_, err := core.DetectRuleMapReduce(eng, rule, rel, cfg.Workers, cfg.Workers)
+			return err
+		})
+	case sysNadeef:
+		return timeIt(func() error {
+			_, err := baseline.NadeefDetect(rule, rel)
+			return err
+		})
+	case sysPostgres, sysSparkSQL, sysShark:
+		mode := baseline.Postgres
+		if system == sysSparkSQL {
+			mode = baseline.SparkSQL
+		} else if system == sysShark {
+			mode = baseline.Shark
+		}
+		ctx := engine.New(cfg.Workers)
+		return timeIt(func() error {
+			_, err := baseline.SQLDetect(ctx, mode, rule, rel)
+			return err
+		})
+	default:
+		return 0, fmt.Errorf("unknown system %q", system)
+	}
+}
+
+// detectionSweep measures detection time for each system across dataset
+// sizes; exclude mirrors the paper's timeouts/exclusions.
+func detectionSweep(cfg Config, table *Table, rule *core.Rule,
+	mkData func(rows int) *model.Relation, sizes []int, systems []string,
+	exclude func(system string, rows int) bool) error {
+
+	for _, sys := range systems {
+		table.Series = append(table.Series, Series{Name: sys})
+	}
+	for _, n := range sizes {
+		rel := mkData(n)
+		for si, sys := range systems {
+			if exclude != nil && exclude(sys, n) {
+				table.Series[si].Points = append(table.Series[si].Points, Point{X: float64(n), Value: Excluded})
+				continue
+			}
+			secs, err := detectWith(cfg, sys, rule, rel)
+			if err != nil {
+				return fmt.Errorf("%s at %d rows: %w", sys, n, err)
+			}
+			table.Series[si].Points = append(table.Series[si].Points, Point{X: float64(n), Value: secs})
+		}
+	}
+	return nil
+}
+
+// Fig9a reproduces Figure 9(a): single-node violation detection on TaxA
+// with FD φ1 across dataset sizes, against every baseline. Paper sizes
+// 100K/1M/10M are scaled 100× down by default.
+func Fig9a(cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{ID: "fig9a", Title: "TaxA phi1 detection (single node)", XLabel: "rows", YLabel: "seconds"}
+	rule := mustRule(phi1())
+	sizes := []int{cfg.rows(1000), cfg.rows(10000), cfg.rows(100000)}
+	mk := func(rows int) *model.Relation { return datagen.TaxA(rows, 0.1, cfg.Seed).Dirty }
+	systems := []string{sysBigDansing, sysNadeef, sysPostgres, sysSparkSQL, sysShark}
+	// Shark runs every join as a cross product; past ~3e9 candidate pairs
+	// a run exceeds the 4-hour budget the paper allots, so it is excluded
+	// (Section 6.3 excluded Shark from the largest datasets too).
+	exclude := func(sys string, rows int) bool {
+		return sys == sysShark && float64(rows)*float64(rows) > 3e9
+	}
+	if err := detectionSweep(cfg, t, rule, mk, sizes, systems, exclude); err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes, "paper: PostgreSQL fastest at 100K; BigDansing ~2 orders faster than PostgreSQL and >3 orders faster than NADEEF at 10M")
+	return []*Table{t}, nil
+}
+
+// Fig9b reproduces Figure 9(b): the inequality DC φ2 on TaxB. Paper sizes
+// 100K/200K/300K are scaled down; baselines run the DC as a cross product
+// with post-selection, BigDansing uses OCJoin.
+func Fig9b(cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{ID: "fig9b", Title: "TaxB phi2 detection (inequality DC, single node)", XLabel: "rows", YLabel: "seconds"}
+	rule := mustRule(phi2())
+	sizes := []int{cfg.rows(1000), cfg.rows(2000), cfg.rows(4000)}
+	mk := func(rows int) *model.Relation { return datagen.TaxB(rows, 0.1, cfg.Seed).Dirty }
+	systems := []string{sysBigDansing, sysNadeef, sysPostgres, sysSparkSQL, sysShark}
+	if err := detectionSweep(cfg, t, rule, mk, sizes, systems, nil); err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes, "paper: BigDansing >=2 orders of magnitude faster than every baseline at 200K+ rows (OCJoin)")
+	return []*Table{t}, nil
+}
+
+// Fig9c reproduces Figure 9(c): FD φ3 on the TPCH join result.
+func Fig9c(cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{ID: "fig9c", Title: "TPCH phi3 detection (single node)", XLabel: "rows", YLabel: "seconds"}
+	rule := mustRule(phi3())
+	sizes := []int{cfg.rows(1000), cfg.rows(10000), cfg.rows(100000)}
+	mk := func(rows int) *model.Relation { return datagen.TPCH(rows, 0.1, cfg.Seed).Dirty }
+	systems := []string{sysBigDansing, sysNadeef, sysPostgres, sysSparkSQL, sysShark}
+	exclude := func(sys string, rows int) bool {
+		return sys == sysShark && float64(rows)*float64(rows) > 3e9
+	}
+	if err := detectionSweep(cfg, t, rule, mk, sizes, systems, exclude); err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes, "paper: BigDansing 2x faster than PostgreSQL and >3 orders faster than NADEEF at 10M rows")
+	return []*Table{t}, nil
+}
+
+// Fig10a reproduces Figure 10(a): multi-worker detection on TaxA φ1,
+// including the disk-based Hadoop backend. Paper sizes 10M/20M/40M scaled.
+func Fig10a(cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{ID: "fig10a", Title: "TaxA phi1 detection (multi-worker)", XLabel: "rows", YLabel: "seconds"}
+	rule := mustRule(phi1())
+	sizes := []int{cfg.rows(20000), cfg.rows(40000), cfg.rows(80000)}
+	mk := func(rows int) *model.Relation { return datagen.TaxA(rows, 0.1, cfg.Seed).Dirty }
+	systems := []string{sysBigDansing, sysBDHadoop, sysSparkSQL, sysShark}
+	exclude := func(sys string, rows int) bool {
+		return sys == sysShark && float64(rows)*float64(rows) > 1e9
+	}
+	if err := detectionSweep(cfg, t, rule, mk, sizes, systems, exclude); err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes, "paper: BigDansing-Spark slightly faster than Spark SQL; up to 3 orders faster than Shark; BigDansing-Hadoop beats Shark")
+	return []*Table{t}, nil
+}
+
+// Fig10b reproduces Figure 10(b): the inequality DC φ2 at multi-worker
+// scale; the paper stopped Spark SQL and Shark after 4 hours at 2M+ rows.
+func Fig10b(cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{ID: "fig10b", Title: "TaxB phi2 detection (multi-worker)", XLabel: "rows", YLabel: "seconds"}
+	rule := mustRule(phi2())
+	sizes := []int{cfg.rows(4000), cfg.rows(8000), cfg.rows(16000)}
+	mk := func(rows int) *model.Relation { return datagen.TaxB(rows, 0.01, cfg.Seed).Dirty }
+	systems := []string{sysBigDansing, sysSparkSQL, sysShark}
+	// The SQL engines run the inequality DC as a cross product; past ~1e8
+	// materialized pairs a run exceeds the paper's 4-hour budget
+	// equivalent, so larger sizes are excluded (the paper stopped both
+	// baselines at every size of this figure).
+	exclude := func(sys string, rows int) bool {
+		return sys != sysBigDansing && float64(rows)*float64(rows) > 1.1e8
+	}
+	if err := detectionSweep(cfg, t, rule, mk, sizes, systems, exclude); err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes, "paper: BigDansing-Spark at least 2 orders of magnitude faster; baselines hit the 4h limit at 2M rows")
+	return []*Table{t}, nil
+}
+
+// Fig10c reproduces Figure 10(c): large TPCH detection comparing the
+// in-memory backend, the disk-based Hadoop backend and Spark SQL.
+func Fig10c(cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{ID: "fig10c", Title: "large TPCH phi3 detection (backends)", XLabel: "rows", YLabel: "seconds"}
+	rule := mustRule(phi3())
+	sizes := []int{cfg.rows(100000), cfg.rows(200000), cfg.rows(400000)}
+	mk := func(rows int) *model.Relation { return datagen.TPCH(rows, 0.1, cfg.Seed).Dirty }
+	systems := []string{sysBigDansing, sysBDHadoop, sysSparkSQL}
+	if err := detectionSweep(cfg, t, rule, mk, sizes, systems, nil); err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes, "paper: BigDansing-Spark 16-22x faster than BigDansing-Hadoop and 6-8x faster than Spark SQL")
+	return []*Table{t}, nil
+}
+
+// Fig11a reproduces Figure 11(a): speedup with the number of workers on a
+// fixed TPCH dataset (paper: 50M rows, 1..16 workers).
+func Fig11a(cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{ID: "fig11a", Title: "scale-out: TPCH phi3 detection vs workers", XLabel: "workers", YLabel: "seconds"}
+	rule := mustRule(phi3())
+	rel := datagen.TPCH(cfg.rows(200000), 0.1, cfg.Seed).Dirty
+	workerCounts := []int{1, 2, 4, 8, 16}
+	bd := Series{Name: sysBigDansing}
+	sq := Series{Name: sysSparkSQL}
+	for _, w := range workerCounts {
+		wcfg := cfg
+		wcfg.Workers = w
+		secs, err := detectWith(wcfg, sysBigDansing, rule, rel)
+		if err != nil {
+			return nil, err
+		}
+		bd.Points = append(bd.Points, Point{X: float64(w), Value: secs})
+		secs, err = detectWith(wcfg, sysSparkSQL, rule, rel)
+		if err != nil {
+			return nil, err
+		}
+		sq.Points = append(sq.Points, Point{X: float64(w), Value: secs})
+	}
+	t.Series = []Series{bd, sq}
+	t.Notes = append(t.Notes, "paper: BigDansing >=3x faster than Spark SQL from 1 to 16 workers; both scale")
+	return []*Table{t}, nil
+}

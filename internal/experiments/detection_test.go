@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// eventually retries a timing-shape assertion a few times: the test suite
+// runs packages in parallel, so individual wall-clock comparisons can be
+// skewed by CPU contention.
+func eventually(t *testing.T, attempts int, desc string, ok func() (bool, error)) {
+	t.Helper()
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		good, err := ok()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if good {
+			return
+		}
+	}
+	if lastErr != nil {
+		t.Fatalf("%s: %v", desc, lastErr)
+	}
+	t.Errorf("%s failed in %d attempts", desc, attempts)
+}
+
+func TestFig10cSparkBeatsHadoopBackend(t *testing.T) {
+	// Compare the backends directly at a size where disk spilling
+	// dominates; retry to ride out scheduler noise.
+	cfg := tinyCfg().withDefaults()
+	rule := mustRule(phi3())
+	rel := mkTPCH(cfg, 100000)
+	eventually(t, 3, "in-memory backend should beat the disk backend", func() (bool, error) {
+		spark, err := detectWith(cfg, sysBigDansing, rule, rel)
+		if err != nil {
+			return false, err
+		}
+		hadoop, err := detectWith(cfg, sysBDHadoop, rule, rel)
+		if err != nil {
+			return false, err
+		}
+		return spark < hadoop, nil
+	})
+}
+
+func TestFig10bExcludesBaselinesAtLargestSize(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.Scale = 1 // exclusion thresholds are absolute row counts
+	// Only check the plan of exclusions, not the timings: build the sizes
+	// the experiment would use and apply its exclusion rule.
+	for _, tc := range []struct {
+		rows    int
+		sys     string
+		wantRun bool
+	}{
+		{4000, sysSparkSQL, true},
+		{8000, sysShark, true},
+		{16000, sysSparkSQL, false},
+		{16000, sysShark, false},
+		{16000, sysBigDansing, true},
+	} {
+		excluded := tc.sys != sysBigDansing && float64(tc.rows)*float64(tc.rows) > 1.1e8
+		if excluded == tc.wantRun {
+			t.Errorf("%s at %d rows: excluded=%v, want run=%v", tc.sys, tc.rows, excluded, tc.wantRun)
+		}
+	}
+}
+
+func TestDetectWithUnknownSystem(t *testing.T) {
+	cfg := tinyCfg()
+	rule := mustRule(phi1())
+	if _, err := detectWith(cfg, "oracle9i", rule, nil); err == nil {
+		t.Error("unknown system should error")
+	}
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bigdansing/internal/core"
+	"bigdansing/internal/datagen"
+	"bigdansing/internal/rules"
+)
+
+// Rule φ identifiers follow Table 3.
+
+// phi1 compiles φ1 (FD): zipcode -> city on TaxA.
+func phi1() (*core.Rule, error) {
+	fd, err := rules.ParseFD("phi1", "zipcode -> city")
+	if err != nil {
+		return nil, err
+	}
+	return fd.Compile(datagen.TaxSchema())
+}
+
+// phi2 compiles φ2 (DC): ¬(t1.salary > t2.salary ∧ t1.rate < t2.rate).
+func phi2() (*core.Rule, error) {
+	dc, err := rules.ParseDC("phi2", "t1.salary > t2.salary & t1.rate < t2.rate")
+	if err != nil {
+		return nil, err
+	}
+	return dc.Compile(datagen.TaxSchema())
+}
+
+// phi3 compiles φ3 (FD): o_custkey -> c_address on TPCH.
+func phi3() (*core.Rule, error) {
+	fd, err := rules.ParseFD("phi3", "o_custkey -> c_address")
+	if err != nil {
+		return nil, err
+	}
+	return fd.Compile(datagen.TPCHSchema())
+}
+
+// phi4 builds φ4 (UDF): customer deduplication by Levenshtein.
+func phi4() (*core.Rule, error) {
+	return rules.DedupRule(rules.DedupConfig{
+		ID: "phi4", NameAttr: "c_name", PhoneAttr: "c_phone",
+		NameThreshold: 0.75, PhoneThreshold: 0.7,
+	}, datagen.CustomerSchema())
+}
+
+// phi5 builds φ5 (UDF): NCVoter deduplication by Levenshtein.
+func phi5() (*core.Rule, error) {
+	return rules.DedupRule(rules.DedupConfig{
+		ID: "phi5", NameAttr: "name", PhoneAttr: "phone",
+		NameThreshold: 0.75, PhoneThreshold: 0.7,
+	}, datagen.NCVoterSchema())
+}
+
+// phi6, phi7, phi8 compile the HAI FDs of Table 3.
+func haiRule(id, spec string) (*core.Rule, error) {
+	fd, err := rules.ParseFD(id, spec)
+	if err != nil {
+		return nil, err
+	}
+	return fd.Compile(datagen.HAISchema())
+}
+
+func phi6() (*core.Rule, error) { return haiRule("phi6", "zip -> state") }
+func phi7() (*core.Rule, error) { return haiRule("phi7", "phone -> zip") }
+func phi8() (*core.Rule, error) { return haiRule("phi8", "providerID -> city, phone") }
+
+// mustRule panics on rule-construction failure: the specs above are
+// constants validated by tests, so a failure is a programming error.
+func mustRule(r *core.Rule, err error) *core.Rule {
+	if err != nil {
+		panic(fmt.Sprintf("experiments: rule construction: %v", err))
+	}
+	return r
+}

@@ -1,0 +1,221 @@
+// Package graph provides the graph-processing substrate BigDansing's repair
+// layer needs: a Bulk Synchronous Parallel (Pregel-style) vertex-program
+// engine standing in for GraphX, connected components over it, and a greedy
+// k-way hypergraph partitioner standing in for multilevel partitioning [22].
+package graph
+
+import (
+	"fmt"
+	"sync"
+)
+
+// VertexID identifies a vertex.
+type VertexID = int64
+
+// Edge is an undirected edge between two vertices.
+type Edge struct {
+	A, B VertexID
+}
+
+// Graph is an adjacency-list graph over sparse vertex IDs.
+type Graph struct {
+	adj map[VertexID][]VertexID
+}
+
+// NewGraph builds a graph from undirected edges. Isolated vertices can be
+// added with AddVertex.
+func NewGraph(edges []Edge) *Graph {
+	g := &Graph{adj: make(map[VertexID][]VertexID, len(edges)*2)}
+	for _, e := range edges {
+		g.AddEdge(e.A, e.B)
+	}
+	return g
+}
+
+// AddVertex ensures a vertex exists even with no edges.
+func (g *Graph) AddVertex(v VertexID) {
+	if _, ok := g.adj[v]; !ok {
+		g.adj[v] = nil
+	}
+}
+
+// AddEdge adds an undirected edge (self-loops are recorded once).
+func (g *Graph) AddEdge(a, b VertexID) {
+	g.adj[a] = append(g.adj[a], b)
+	if a != b {
+		g.adj[b] = append(g.adj[b], a)
+	}
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return len(g.adj) }
+
+// Neighbors returns the adjacency list of v.
+func (g *Graph) Neighbors(v VertexID) []VertexID { return g.adj[v] }
+
+// Vertices returns all vertex IDs (order unspecified).
+func (g *Graph) Vertices() []VertexID {
+	out := make([]VertexID, 0, len(g.adj))
+	for v := range g.adj {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Program is a Pregel vertex program. S is per-vertex state, M the message
+// type. In each superstep Compute runs for every active vertex (one that
+// received messages, or every vertex in superstep 0); it may update state,
+// send messages along edges, and vote to halt by returning true. The
+// computation ends when no messages are in flight and all vertices halted.
+type Program[S, M any] struct {
+	// Init produces the initial state of a vertex.
+	Init func(id VertexID) S
+	// Compute processes incoming messages. send enqueues a message for the
+	// next superstep. Returning true votes to halt.
+	Compute func(id VertexID, state *S, msgs []M, send func(to VertexID, m M)) bool
+	// Combine optionally merges two messages bound for the same vertex
+	// (GraphX's mergeMsg); nil keeps all messages.
+	Combine func(a, b M) M
+}
+
+// Result carries the final vertex states and the superstep count.
+type Result[S any] struct {
+	States     map[VertexID]S
+	Supersteps int
+}
+
+// Run executes the program on g with the given parallelism until quiescence
+// or maxSupersteps (<=0 means 10 + |V|, a safe bound for label propagation).
+func Run[S, M any](g *Graph, prog Program[S, M], parallelism, maxSupersteps int) (Result[S], error) {
+	if parallelism <= 0 {
+		parallelism = 4
+	}
+	if maxSupersteps <= 0 {
+		maxSupersteps = 10 + g.NumVertices()
+	}
+	verts := g.Vertices()
+	// Partition vertices round-robin for the worker pool.
+	nparts := parallelism
+	if nparts > len(verts) && len(verts) > 0 {
+		nparts = len(verts)
+	}
+	if len(verts) == 0 {
+		return Result[S]{States: map[VertexID]S{}}, nil
+	}
+	partOf := make(map[VertexID]int, len(verts))
+	parts := make([][]VertexID, nparts)
+	for i, v := range verts {
+		p := i % nparts
+		parts[p] = append(parts[p], v)
+		partOf[v] = p
+	}
+
+	states := make(map[VertexID]*S, len(verts))
+	for _, v := range verts {
+		s := prog.Init(v)
+		states[v] = &s
+	}
+
+	// inbox[p] holds messages for vertices in partition p.
+	inbox := make([]map[VertexID][]M, nparts)
+	for p := range inbox {
+		inbox[p] = make(map[VertexID][]M)
+	}
+
+	deliver := func(out []map[VertexID][]M, to VertexID, m M) {
+		p := partOf[to]
+		box := out[p]
+		if prog.Combine != nil {
+			if cur, ok := box[to]; ok && len(cur) == 1 {
+				box[to][0] = prog.Combine(cur[0], m)
+				return
+			}
+		}
+		box[to] = append(box[to], m)
+	}
+
+	var runErr error
+	var errMu sync.Mutex
+	superstep := 0
+	for ; superstep < maxSupersteps; superstep++ {
+		// next[p][q]: messages produced by partition p for partition q;
+		// per-producer staging keeps the superstep lock-free.
+		next := make([][]map[VertexID][]M, nparts)
+		anyActive := false
+		var wg sync.WaitGroup
+		wg.Add(nparts)
+		active := make([]bool, nparts)
+		for p := 0; p < nparts; p++ {
+			go func(p int) {
+				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						errMu.Lock()
+						if runErr == nil {
+							runErr = fmt.Errorf("graph: vertex program panicked in partition %d: %v", p, r)
+						}
+						errMu.Unlock()
+					}
+				}()
+				out := make([]map[VertexID][]M, nparts)
+				for q := range out {
+					out[q] = make(map[VertexID][]M)
+				}
+				send := func(to VertexID, m M) {
+					if _, known := partOf[to]; !known {
+						return // message to a vertex outside the graph is dropped
+					}
+					deliver(out, to, m)
+				}
+				for _, v := range parts[p] {
+					msgs := inbox[p][v]
+					if superstep > 0 && len(msgs) == 0 {
+						continue // halted and nothing received
+					}
+					halted := prog.Compute(v, states[v], msgs, send)
+					if !halted {
+						active[p] = true
+					}
+				}
+				next[p] = out
+			}(p)
+		}
+		wg.Wait()
+		if runErr != nil {
+			return Result[S]{}, runErr
+		}
+		// Merge staged messages into the next inboxes.
+		newInbox := make([]map[VertexID][]M, nparts)
+		for q := range newInbox {
+			newInbox[q] = make(map[VertexID][]M)
+		}
+		anyMsg := false
+		for p := 0; p < nparts; p++ {
+			if active[p] {
+				anyActive = true
+			}
+			for q := 0; q < nparts; q++ {
+				for to, ms := range next[p][q] {
+					if prog.Combine != nil && len(newInbox[q][to]) == 1 && len(ms) == 1 {
+						newInbox[q][to][0] = prog.Combine(newInbox[q][to][0], ms[0])
+					} else {
+						newInbox[q][to] = append(newInbox[q][to], ms...)
+					}
+					anyMsg = true
+				}
+			}
+		}
+		inbox = newInbox
+		_ = anyActive
+		if !anyMsg {
+			superstep++
+			break
+		}
+	}
+
+	final := make(map[VertexID]S, len(states))
+	for v, s := range states {
+		final[v] = *s
+	}
+	return Result[S]{States: final, Supersteps: superstep}, nil
+}

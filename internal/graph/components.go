@@ -1,0 +1,106 @@
+package graph
+
+// ConnectedComponents labels every vertex with the smallest vertex ID in its
+// component, computed with HashMin label propagation on the BSP engine —
+// the same algorithm GraphX's connectedComponents() runs for the paper's
+// repair stage (Section 5.1).
+func ConnectedComponents(g *Graph, parallelism int) (map[VertexID]VertexID, error) {
+	prog := Program[VertexID, VertexID]{
+		Init: func(id VertexID) VertexID { return id },
+		Compute: func(id VertexID, state *VertexID, msgs []VertexID, send func(VertexID, VertexID)) bool {
+			best := *state
+			for _, m := range msgs {
+				if m < best {
+					best = m
+				}
+			}
+			if best < *state || len(msgs) == 0 { // superstep 0 or improvement
+				improved := best < *state
+				*state = best
+				if improved || len(msgs) == 0 {
+					for _, nb := range g.Neighbors(id) {
+						send(nb, best)
+					}
+				}
+			}
+			return true
+		},
+		Combine: func(a, b VertexID) VertexID {
+			if a < b {
+				return a
+			}
+			return b
+		},
+	}
+	res, err := Run(g, prog, parallelism, 0)
+	if err != nil {
+		return nil, err
+	}
+	return res.States, nil
+}
+
+// UnionFind is a sequential disjoint-set structure; it is both the oracle
+// the property tests compare the BSP result against and the fast path for
+// small violation graphs.
+type UnionFind struct {
+	parent map[int64]int64
+	rank   map[int64]int
+}
+
+// NewUnionFind creates an empty structure.
+func NewUnionFind() *UnionFind {
+	return &UnionFind{parent: make(map[int64]int64), rank: make(map[int64]int)}
+}
+
+// Add ensures x exists as its own singleton set.
+func (u *UnionFind) Add(x int64) {
+	if _, ok := u.parent[x]; !ok {
+		u.parent[x] = x
+	}
+}
+
+// Find returns the representative of x's set (adding x if unknown), with
+// path compression.
+func (u *UnionFind) Find(x int64) int64 {
+	u.Add(x)
+	root := x
+	for u.parent[root] != root {
+		root = u.parent[root]
+	}
+	for u.parent[x] != root {
+		u.parent[x], x = root, u.parent[x]
+	}
+	return root
+}
+
+// Union merges the sets of a and b.
+func (u *UnionFind) Union(a, b int64) {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+}
+
+// Components groups all added elements by canonical representative, where
+// the representative reported is the minimum member (matching HashMin).
+func (u *UnionFind) Components() map[int64]int64 {
+	mins := make(map[int64]int64)
+	for x := range u.parent {
+		r := u.Find(x)
+		if cur, ok := mins[r]; !ok || x < cur {
+			mins[r] = x
+		}
+	}
+	out := make(map[int64]int64, len(u.parent))
+	for x := range u.parent {
+		out[x] = mins[u.Find(x)]
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package graph
+
+import (
+	"sort"
+)
+
+// Hyperedge is one edge of a hypergraph: an identifier plus the set of node
+// keys it covers. In the repair layer a hyperedge is a violation and the
+// nodes are the cells ("elements") its possible fixes touch (Section 5.1).
+type Hyperedge struct {
+	ID    int64
+	Nodes []string
+}
+
+// Hypergraph is a set of hyperedges over string-keyed nodes.
+type Hypergraph struct {
+	Edges []Hyperedge
+}
+
+// NewHypergraph builds a hypergraph.
+func NewHypergraph(edges []Hyperedge) *Hypergraph { return &Hypergraph{Edges: edges} }
+
+// ConnectedComponents groups hyperedges into connected components: two
+// hyperedges are connected when they share a node. It returns, per
+// hyperedge ID, a component ID (the smallest hyperedge ID in the component).
+//
+// The computation mirrors the paper's use of GraphX: the hypergraph is
+// encoded as a bipartite graph (hyperedge vertices and node vertices) and
+// connected components run on the BSP engine.
+func (h *Hypergraph) ConnectedComponents(parallelism int) (map[int64]int64, error) {
+	if len(h.Edges) == 0 {
+		return map[int64]int64{}, nil
+	}
+	// Encode: hyperedge e -> vertex 2*idx; node n -> vertex 2*nodeIdx+1.
+	// Using dense indexes keeps vertex IDs disjoint from hyperedge IDs.
+	nodeIdx := make(map[string]int64)
+	g := &Graph{adj: make(map[VertexID][]VertexID)}
+	for i, e := range h.Edges {
+		ev := VertexID(2 * int64(i))
+		g.AddVertex(ev)
+		for _, n := range e.Nodes {
+			ni, ok := nodeIdx[n]
+			if !ok {
+				ni = int64(len(nodeIdx))
+				nodeIdx[n] = ni
+			}
+			g.AddEdge(ev, VertexID(2*ni+1))
+		}
+	}
+	labels, err := ConnectedComponents(g, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	// The label of a component is a vertex id; map it back to the smallest
+	// hyperedge ID carrying that label.
+	compMin := make(map[VertexID]int64)
+	for i, e := range h.Edges {
+		l := labels[VertexID(2*int64(i))]
+		if cur, ok := compMin[l]; !ok || e.ID < cur {
+			compMin[l] = e.ID
+		}
+	}
+	out := make(map[int64]int64, len(h.Edges))
+	for i, e := range h.Edges {
+		out[e.ID] = compMin[labels[VertexID(2*int64(i))]]
+	}
+	return out, nil
+}
+
+// PartitionKWay splits the hyperedges into k balanced parts, a greedy
+// stand-in for multilevel k-way hypergraph partitioning [22]: hyperedges are
+// placed largest-first on the part sharing the most nodes with them
+// (minimizing cut), subject to a balance cap of ceil(|E|/k)+1 edges.
+// The paper invokes this when a connected component is too large for one
+// repair worker's memory (Section 5.1).
+func (h *Hypergraph) PartitionKWay(k int) [][]Hyperedge {
+	if k <= 1 || len(h.Edges) <= 1 {
+		return [][]Hyperedge{append([]Hyperedge(nil), h.Edges...)}
+	}
+	if k > len(h.Edges) {
+		k = len(h.Edges)
+	}
+	capPerPart := (len(h.Edges)+k-1)/k + 1
+
+	order := make([]int, len(h.Edges))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(h.Edges[order[a]].Nodes) > len(h.Edges[order[b]].Nodes)
+	})
+
+	parts := make([][]Hyperedge, k)
+	nodeParts := make([]map[string]int, k) // node -> times seen in part
+	for i := range nodeParts {
+		nodeParts[i] = make(map[string]int)
+	}
+	for _, ei := range order {
+		e := h.Edges[ei]
+		best, bestShared := -1, -1
+		for p := 0; p < k; p++ {
+			if len(parts[p]) >= capPerPart {
+				continue
+			}
+			shared := 0
+			for _, n := range e.Nodes {
+				if nodeParts[p][n] > 0 {
+					shared++
+				}
+			}
+			if shared > bestShared || (shared == bestShared && (best == -1 || len(parts[p]) < len(parts[best]))) {
+				best, bestShared = p, shared
+			}
+		}
+		if best == -1 { // all at cap (can happen from the +1 slack); least loaded
+			best = 0
+			for p := 1; p < k; p++ {
+				if len(parts[p]) < len(parts[best]) {
+					best = p
+				}
+			}
+		}
+		parts[best] = append(parts[best], e)
+		for _, n := range e.Nodes {
+			nodeParts[best][n]++
+		}
+	}
+	// Drop empty parts.
+	out := parts[:0]
+	for _, p := range parts {
+		if len(p) > 0 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Cut counts the nodes appearing in more than one of the given parts — the
+// quantity the partitioner heuristically minimizes and the number of cells
+// at risk of contradictory repairs (Example 2).
+func Cut(parts [][]Hyperedge) int {
+	seenIn := make(map[string]int)
+	for pi, p := range parts {
+		mark := pi + 1
+		seen := make(map[string]bool)
+		for _, e := range p {
+			for _, n := range e.Nodes {
+				if seen[n] {
+					continue
+				}
+				seen[n] = true
+				if prev, ok := seenIn[n]; !ok {
+					seenIn[n] = mark
+				} else if prev != mark && prev != -1 {
+					seenIn[n] = -1
+				}
+			}
+		}
+	}
+	cut := 0
+	for _, v := range seenIn {
+		if v == -1 {
+			cut++
+		}
+	}
+	return cut
+}

@@ -1,0 +1,92 @@
+package mapred
+
+import (
+	"encoding/binary"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestCombinerReducesSpillAndPreservesResult(t *testing.T) {
+	mkEngine := func() *Engine {
+		e, err := New(t.TempDir(), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	var input [][]byte
+	for i := 0; i < 500; i++ {
+		input = append(input, []byte(strconv.Itoa(i%7)))
+	}
+	mapFn := func(rec []byte, emit Emit) {
+		var one [8]byte
+		binary.LittleEndian.PutUint64(one[:], 1)
+		emit(string(rec), one[:])
+	}
+	reduceFn := func(key string, values [][]byte, emit func([]byte)) {
+		total := uint64(0)
+		for _, v := range values {
+			total += binary.LittleEndian.Uint64(v)
+		}
+		emit([]byte(key + "=" + strconv.FormatUint(total, 10)))
+	}
+	combineFn := func(key string, values [][]byte) [][]byte {
+		total := uint64(0)
+		for _, v := range values {
+			total += binary.LittleEndian.Uint64(v)
+		}
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], total)
+		return [][]byte{buf[:]}
+	}
+
+	plain := mkEngine()
+	outPlain, err := plain.Run(input, 4, 3, mapFn, reduceFn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined := mkEngine()
+	outComb, err := combined.RunWithCombiner(input, 4, 3, mapFn, combineFn, reduceFn)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parse := func(out [][]byte) map[string]string {
+		m := map[string]string{}
+		for _, o := range out {
+			k, v, _ := strings.Cut(string(o), "=")
+			m[k] = v
+		}
+		return m
+	}
+	pm, cm := parse(outPlain), parse(outComb)
+	if len(pm) != 7 || len(cm) != 7 {
+		t.Fatalf("key counts: plain %d, combined %d", len(pm), len(cm))
+	}
+	for k, v := range pm {
+		if cm[k] != v {
+			t.Errorf("key %s: plain %s vs combined %s", k, v, cm[k])
+		}
+	}
+	// The combiner must spill far less: 4 tasks x 7 keys records instead
+	// of 500.
+	if combined.Stats().BytesSpilled() >= plain.Stats().BytesSpilled()/2 {
+		t.Errorf("combiner spill %d should be well under plain %d",
+			combined.Stats().BytesSpilled(), plain.Stats().BytesSpilled())
+	}
+}
+
+func TestCombinerPanicSurfaces(t *testing.T) {
+	e, err := New(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = e.RunWithCombiner([][]byte{[]byte("a")}, 1, 1,
+		func(rec []byte, emit Emit) { emit("k", rec) },
+		func(key string, values [][]byte) [][]byte { panic("combiner boom") },
+		func(key string, values [][]byte, emit func([]byte)) {})
+	if err == nil || !strings.Contains(err.Error(), "combiner boom") {
+		t.Fatalf("combiner panic should surface: %v", err)
+	}
+}

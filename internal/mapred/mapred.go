@@ -1,0 +1,364 @@
+// Package mapred implements a disk-based MapReduce engine, the substrate
+// for the BigDansing-Hadoop backend of the paper's multi-node experiments
+// (Figures 10a and 10c). Unlike package engine, every map output is spilled
+// to intermediate partition files on disk and read back by reduce tasks, so
+// the Hadoop-vs-Spark performance gap of the paper reproduces naturally.
+//
+// Records are opaque byte slices; callers frame their own payloads (tuples
+// use the binary codec in package model). A job is:
+//
+//	map:    rec -> (key, value)*        one map task per input split
+//	reduce: key, values -> out*         one reduce task per hash partition
+package mapred
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// Emit receives a key-value record from a map function.
+type Emit func(key string, value []byte)
+
+// MapFunc processes one input record.
+type MapFunc func(rec []byte, emit Emit)
+
+// ReduceFunc processes all values of one key and emits output records.
+type ReduceFunc func(key string, values [][]byte, emit func(out []byte))
+
+// Stats counts the disk traffic a job generated.
+type Stats struct {
+	bytesSpilled atomic.Int64
+	bytesRead    atomic.Int64
+	mapTasks     atomic.Int64
+	reduceTasks  atomic.Int64
+}
+
+// BytesSpilled returns bytes written to intermediate files.
+func (s *Stats) BytesSpilled() int64 { return s.bytesSpilled.Load() }
+
+// BytesRead returns bytes read back from intermediate files.
+func (s *Stats) BytesRead() int64 { return s.bytesRead.Load() }
+
+// MapTasks returns the number of map tasks executed.
+func (s *Stats) MapTasks() int64 { return s.mapTasks.Load() }
+
+// ReduceTasks returns the number of reduce tasks executed.
+func (s *Stats) ReduceTasks() int64 { return s.reduceTasks.Load() }
+
+// Engine runs MapReduce jobs with a fixed number of parallel task slots,
+// spilling all intermediate data under Dir.
+type Engine struct {
+	dir     string
+	workers int
+	stats   Stats
+	jobSeq  atomic.Int64
+}
+
+// New creates an engine. dir is the spill directory ("" means the OS temp
+// dir); workers is the task-slot count (<=0 means 4, Hadoop's historical
+// default of 2 map + 2 reduce slots).
+func New(dir string, workers int) (*Engine, error) {
+	if workers <= 0 {
+		workers = 4
+	}
+	if dir == "" {
+		d, err := os.MkdirTemp("", "bigdansing-mr-")
+		if err != nil {
+			return nil, fmt.Errorf("mapred: temp dir: %w", err)
+		}
+		dir = d
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("mapred: mkdir %s: %w", dir, err)
+	}
+	return &Engine{dir: dir, workers: workers}, nil
+}
+
+// Stats returns the engine's disk statistics.
+func (e *Engine) Stats() *Stats { return &e.stats }
+
+// Dir returns the spill directory.
+func (e *Engine) Dir() string { return e.dir }
+
+// Close removes the spill directory.
+func (e *Engine) Close() error { return os.RemoveAll(e.dir) }
+
+// CombineFunc merges the map-side values of one key before they spill —
+// the Combine task of Appendix G.2. It must be associative and produce
+// output the reducer accepts as input values.
+type CombineFunc func(key string, values [][]byte) [][]byte
+
+// Run executes one map-shuffle-reduce job over the input records, with
+// nSplits map tasks and nReduce reduce tasks (<=0 defaults both to the
+// worker count). The output is the concatenation of all reduce outputs.
+func (e *Engine) Run(input [][]byte, nSplits, nReduce int, mapFn MapFunc, reduceFn ReduceFunc) ([][]byte, error) {
+	return e.RunWithCombiner(input, nSplits, nReduce, mapFn, nil, reduceFn)
+}
+
+// RunWithCombiner is Run with an optional map-side combiner: each map
+// task buffers its emits per key and runs combine before spilling, cutting
+// intermediate disk volume — how the distributed equivalence class keeps
+// its first word-count sequence cheap.
+func (e *Engine) RunWithCombiner(input [][]byte, nSplits, nReduce int, mapFn MapFunc, combine CombineFunc, reduceFn ReduceFunc) ([][]byte, error) {
+	if nSplits <= 0 {
+		nSplits = e.workers
+	}
+	if nReduce <= 0 {
+		nReduce = e.workers
+	}
+	if nSplits > len(input) && len(input) > 0 {
+		nSplits = len(input)
+	}
+	if len(input) == 0 {
+		nSplits = 1
+	}
+	jobID := e.jobSeq.Add(1)
+	jobDir := filepath.Join(e.dir, fmt.Sprintf("job-%d", jobID))
+	if err := os.MkdirAll(jobDir, 0o755); err != nil {
+		return nil, fmt.Errorf("mapred: job dir: %w", err)
+	}
+	defer os.RemoveAll(jobDir)
+
+	// ---- Map phase: each split writes nReduce partition files.
+	if err := e.parallel(nSplits, func(split int) error {
+		e.stats.mapTasks.Add(1)
+		chunk := (len(input) + nSplits - 1) / nSplits
+		lo, hi := split*chunk, (split+1)*chunk
+		if lo > len(input) {
+			lo = len(input)
+		}
+		if hi > len(input) {
+			hi = len(input)
+		}
+		writers := make([]*spillWriter, nReduce)
+		for r := 0; r < nReduce; r++ {
+			w, err := newSpillWriter(partPath(jobDir, split, r), &e.stats)
+			if err != nil {
+				return err
+			}
+			writers[r] = w
+		}
+		var mapErr error
+		var emit Emit
+		// Without a combiner, emits stream straight to the spill files;
+		// with one, they buffer per key and combine before spilling.
+		var pending map[string][][]byte
+		var order []string
+		if combine == nil {
+			emit = func(key string, value []byte) {
+				r := int(hashKey(key) % uint64(nReduce))
+				if err := writers[r].write(key, value); err != nil && mapErr == nil {
+					mapErr = err
+				}
+			}
+		} else {
+			pending = make(map[string][][]byte)
+			emit = func(key string, value []byte) {
+				if _, seen := pending[key]; !seen {
+					order = append(order, key)
+				}
+				cp := make([]byte, len(value))
+				copy(cp, value)
+				pending[key] = append(pending[key], cp)
+			}
+		}
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil && mapErr == nil {
+					mapErr = fmt.Errorf("mapred: map task %d panicked: %v", split, rec)
+				}
+			}()
+			for _, rec := range input[lo:hi] {
+				mapFn(rec, emit)
+			}
+			if combine != nil {
+				for _, key := range order {
+					r := int(hashKey(key) % uint64(nReduce))
+					for _, v := range combine(key, pending[key]) {
+						if err := writers[r].write(key, v); err != nil && mapErr == nil {
+							mapErr = err
+						}
+					}
+				}
+			}
+		}()
+		for _, w := range writers {
+			if err := w.close(); err != nil && mapErr == nil {
+				mapErr = err
+			}
+		}
+		return mapErr
+	}); err != nil {
+		return nil, err
+	}
+
+	// ---- Reduce phase: each reducer merges its partition files from all
+	// map tasks, groups by key, and reduces.
+	outputs := make([][][]byte, nReduce)
+	if err := e.parallel(nReduce, func(r int) error {
+		e.stats.reduceTasks.Add(1)
+		groups := make(map[string][][]byte)
+		var order []string
+		for split := 0; split < nSplits; split++ {
+			if err := readSpill(partPath(jobDir, split, r), &e.stats, func(key string, value []byte) {
+				if _, seen := groups[key]; !seen {
+					order = append(order, key)
+				}
+				groups[key] = append(groups[key], value)
+			}); err != nil {
+				return err
+			}
+		}
+		var out [][]byte
+		var redErr error
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil && redErr == nil {
+					redErr = fmt.Errorf("mapred: reduce task %d panicked: %v", r, rec)
+				}
+			}()
+			for _, key := range order {
+				reduceFn(key, groups[key], func(o []byte) {
+					cp := make([]byte, len(o))
+					copy(cp, o)
+					out = append(out, cp)
+				})
+			}
+		}()
+		outputs[r] = out
+		return redErr
+	}); err != nil {
+		return nil, err
+	}
+
+	var all [][]byte
+	for _, o := range outputs {
+		all = append(all, o...)
+	}
+	return all, nil
+}
+
+// parallel runs f over [0,n) with at most e.workers goroutines, returning
+// the first error.
+func (e *Engine) parallel(n int, f func(i int) error) error {
+	var (
+		next  atomic.Int64
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+	)
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := f(i); err != nil {
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
+
+func partPath(jobDir string, split, r int) string {
+	return filepath.Join(jobDir, fmt.Sprintf("m%d-r%d.part", split, r))
+}
+
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// spillWriter frames key-value records into a buffered file:
+// keylen:uvarint key vallen:uvarint val.
+type spillWriter struct {
+	f     *os.File
+	w     *bufio.Writer
+	stats *Stats
+	buf   []byte
+}
+
+func newSpillWriter(path string, stats *Stats) (*spillWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("mapred: create spill %s: %w", path, err)
+	}
+	return &spillWriter{f: f, w: bufio.NewWriterSize(f, 1<<16), stats: stats}, nil
+}
+
+func (s *spillWriter) write(key string, value []byte) error {
+	s.buf = s.buf[:0]
+	s.buf = binary.AppendUvarint(s.buf, uint64(len(key)))
+	s.buf = append(s.buf, key...)
+	s.buf = binary.AppendUvarint(s.buf, uint64(len(value)))
+	s.buf = append(s.buf, value...)
+	n, err := s.w.Write(s.buf)
+	s.stats.bytesSpilled.Add(int64(n))
+	return err
+}
+
+func (s *spillWriter) close() error {
+	if err := s.w.Flush(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}
+
+// readSpill streams a spill file's records into visit. A missing file is
+// treated as empty (a map task may legitimately emit nothing to a reducer).
+func readSpill(path string, stats *Stats, visit func(key string, value []byte)) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("mapred: open spill %s: %w", path, err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	for {
+		klen, err := binary.ReadUvarint(r)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("mapred: spill %s corrupt key length: %w", path, err)
+		}
+		kb := make([]byte, klen)
+		if _, err := io.ReadFull(r, kb); err != nil {
+			return fmt.Errorf("mapred: spill %s truncated key: %w", path, err)
+		}
+		vlen, err := binary.ReadUvarint(r)
+		if err != nil {
+			return fmt.Errorf("mapred: spill %s corrupt value length: %w", path, err)
+		}
+		vb := make([]byte, vlen)
+		if _, err := io.ReadFull(r, vb); err != nil {
+			return fmt.Errorf("mapred: spill %s truncated value: %w", path, err)
+		}
+		stats.bytesRead.Add(int64(klen) + int64(vlen))
+		visit(string(kb), vb)
+	}
+}

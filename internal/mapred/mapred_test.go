@@ -1,0 +1,222 @@
+package mapred
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func newTestEngine(t *testing.T, workers int) *Engine {
+	t.Helper()
+	e, err := New(t.TempDir(), workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestWordCount(t *testing.T) {
+	e := newTestEngine(t, 4)
+	docs := []string{
+		"the quick brown fox",
+		"the lazy dog",
+		"the quick dog",
+	}
+	input := make([][]byte, len(docs))
+	for i, d := range docs {
+		input[i] = []byte(d)
+	}
+	out, err := e.Run(input, 3, 2,
+		func(rec []byte, emit Emit) {
+			for _, w := range strings.Fields(string(rec)) {
+				emit(w, []byte{1})
+			}
+		},
+		func(key string, values [][]byte, emit func([]byte)) {
+			emit([]byte(fmt.Sprintf("%s=%d", key, len(values))))
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, o := range out {
+		k, v, _ := strings.Cut(string(o), "=")
+		counts[k], _ = strconv.Atoi(v)
+	}
+	want := map[string]int{"the": 3, "quick": 2, "brown": 1, "fox": 1, "lazy": 1, "dog": 2}
+	if len(counts) != len(want) {
+		t.Fatalf("counts = %v", counts)
+	}
+	for k, v := range want {
+		if counts[k] != v {
+			t.Errorf("count[%s] = %d, want %d", k, counts[k], v)
+		}
+	}
+}
+
+func TestAllValuesOfKeyReachOneReducer(t *testing.T) {
+	e := newTestEngine(t, 4)
+	// 100 records across 10 keys; each reducer emits "key:count", so every
+	// key must appear exactly once in the output.
+	var input [][]byte
+	for i := 0; i < 100; i++ {
+		input = append(input, []byte(strconv.Itoa(i%10)))
+	}
+	out, err := e.Run(input, 8, 5,
+		func(rec []byte, emit Emit) { emit(string(rec), rec) },
+		func(key string, values [][]byte, emit func([]byte)) {
+			emit([]byte(key + ":" + strconv.Itoa(len(values))))
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 10 {
+		t.Fatalf("distinct keys in output = %d, want 10", len(out))
+	}
+	for _, o := range out {
+		_, c, _ := strings.Cut(string(o), ":")
+		if c != "10" {
+			t.Errorf("key group %s should have 10 values", o)
+		}
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	e := newTestEngine(t, 2)
+	out, err := e.Run(nil, 0, 0,
+		func(rec []byte, emit Emit) { emit("k", rec) },
+		func(key string, values [][]byte, emit func([]byte)) { emit([]byte(key)) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Errorf("empty input should produce no output, got %d", len(out))
+	}
+}
+
+func TestMapPanicSurfacesAsError(t *testing.T) {
+	e := newTestEngine(t, 2)
+	_, err := e.Run([][]byte{[]byte("a"), []byte("b")}, 2, 2,
+		func(rec []byte, emit Emit) {
+			if string(rec) == "b" {
+				panic("map boom")
+			}
+			emit("k", rec)
+		},
+		func(key string, values [][]byte, emit func([]byte)) {})
+	if err == nil || !strings.Contains(err.Error(), "map boom") {
+		t.Fatalf("map panic should surface, got %v", err)
+	}
+}
+
+func TestReducePanicSurfacesAsError(t *testing.T) {
+	e := newTestEngine(t, 2)
+	_, err := e.Run([][]byte{[]byte("a")}, 1, 1,
+		func(rec []byte, emit Emit) { emit("k", rec) },
+		func(key string, values [][]byte, emit func([]byte)) { panic("reduce boom") })
+	if err == nil || !strings.Contains(err.Error(), "reduce boom") {
+		t.Fatalf("reduce panic should surface, got %v", err)
+	}
+}
+
+func TestStatsRecordDiskTraffic(t *testing.T) {
+	e := newTestEngine(t, 2)
+	input := [][]byte{[]byte("hello"), []byte("world")}
+	_, err := e.Run(input, 2, 2,
+		func(rec []byte, emit Emit) { emit(string(rec), rec) },
+		func(key string, values [][]byte, emit func([]byte)) { emit(values[0]) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats().BytesSpilled() == 0 {
+		t.Error("spill bytes should be counted")
+	}
+	if e.Stats().BytesRead() == 0 {
+		t.Error("read bytes should be counted")
+	}
+	if e.Stats().MapTasks() != 2 || e.Stats().ReduceTasks() != 2 {
+		t.Errorf("tasks = %d map, %d reduce", e.Stats().MapTasks(), e.Stats().ReduceTasks())
+	}
+}
+
+func TestBinaryValuesSurviveSpill(t *testing.T) {
+	e := newTestEngine(t, 2)
+	payload := []byte{0, 1, 2, 255, 254, 10, 13, 0}
+	out, err := e.Run([][]byte{payload}, 1, 1,
+		func(rec []byte, emit Emit) { emit("bin", rec) },
+		func(key string, values [][]byte, emit func([]byte)) { emit(values[0]) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || string(out[0]) != string(payload) {
+		t.Fatalf("binary payload corrupted: %v", out)
+	}
+}
+
+func TestChainedJobsSameEngine(t *testing.T) {
+	// The distributed equivalence-class algorithm runs two map-reduce
+	// sequences back to back (Section 5.2); the engine must support chaining.
+	e := newTestEngine(t, 3)
+	var input [][]byte
+	for i := 0; i < 30; i++ {
+		input = append(input, []byte(strconv.Itoa(i%3)))
+	}
+	mid, err := e.Run(input, 3, 3,
+		func(rec []byte, emit Emit) { emit(string(rec), []byte{1}) },
+		func(key string, values [][]byte, emit func([]byte)) {
+			emit([]byte(key + "," + strconv.Itoa(len(values))))
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Run(mid, 2, 1,
+		func(rec []byte, emit Emit) { emit("total", rec) },
+		func(key string, values [][]byte, emit func([]byte)) {
+			total := 0
+			for _, v := range values {
+				_, c, _ := strings.Cut(string(v), ",")
+				n, _ := strconv.Atoi(c)
+				total += n
+			}
+			emit([]byte(strconv.Itoa(total)))
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || string(out[0]) != "30" {
+		t.Fatalf("chained total = %v", out)
+	}
+}
+
+func TestOutputDeterministicAcrossRuns(t *testing.T) {
+	run := func() []string {
+		e := newTestEngine(t, 4)
+		var input [][]byte
+		for i := 0; i < 50; i++ {
+			input = append(input, []byte(strconv.Itoa(i)))
+		}
+		out, err := e.Run(input, 5, 3,
+			func(rec []byte, emit Emit) { emit(string(rec), rec) },
+			func(key string, values [][]byte, emit func([]byte)) { emit([]byte(key)) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		strs := make([]string, len(out))
+		for i, o := range out {
+			strs[i] = string(o)
+		}
+		sort.Strings(strs)
+		return strs
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic output size")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic output at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package model
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary encoding for values and tuples. The storage manager (Appendix F)
+// stores datasets in binary form to avoid string parsing, and the
+// MapReduce backend frames intermediate records with it.
+//
+// Layout:
+//
+//	value  := kind:uint8 payload
+//	payload(null)   :=
+//	payload(string) := len:uvarint bytes
+//	payload(int)    := zigzag varint
+//	payload(float)  := 8 bytes little-endian IEEE 754
+//	tuple  := id:uvarint ncells:uvarint value*
+
+// AppendValue appends the binary encoding of v to buf.
+func AppendValue(buf []byte, v Value) []byte {
+	buf = append(buf, byte(v.Kind))
+	switch v.Kind {
+	case KindNull:
+	case KindString:
+		buf = binary.AppendUvarint(buf, uint64(len(v.Str)))
+		buf = append(buf, v.Str...)
+	case KindInt:
+		buf = binary.AppendVarint(buf, v.Int)
+	case KindFloat:
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v.Flt))
+		buf = append(buf, b[:]...)
+	}
+	return buf
+}
+
+// DecodeValue decodes one value from buf, returning it and the number of
+// bytes consumed.
+func DecodeValue(buf []byte) (Value, int, error) {
+	if len(buf) == 0 {
+		return Value{}, 0, fmt.Errorf("model: decode value: empty buffer")
+	}
+	kind := Kind(buf[0])
+	pos := 1
+	switch kind {
+	case KindNull:
+		return Null(), pos, nil
+	case KindString:
+		n, sz := binary.Uvarint(buf[pos:])
+		if sz <= 0 {
+			return Value{}, 0, fmt.Errorf("model: decode string length")
+		}
+		pos += sz
+		if pos+int(n) > len(buf) {
+			return Value{}, 0, fmt.Errorf("model: string payload truncated")
+		}
+		s := string(buf[pos : pos+int(n)])
+		return S(s), pos + int(n), nil
+	case KindInt:
+		i, sz := binary.Varint(buf[pos:])
+		if sz <= 0 {
+			return Value{}, 0, fmt.Errorf("model: decode int")
+		}
+		return I(i), pos + sz, nil
+	case KindFloat:
+		if pos+8 > len(buf) {
+			return Value{}, 0, fmt.Errorf("model: float payload truncated")
+		}
+		f := math.Float64frombits(binary.LittleEndian.Uint64(buf[pos:]))
+		return F(f), pos + 8, nil
+	default:
+		return Value{}, 0, fmt.Errorf("model: unknown value kind %d", kind)
+	}
+}
+
+// AppendTuple appends the binary encoding of t to buf.
+func AppendTuple(buf []byte, t Tuple) []byte {
+	buf = binary.AppendUvarint(buf, uint64(t.ID))
+	buf = binary.AppendUvarint(buf, uint64(len(t.Cells)))
+	for _, c := range t.Cells {
+		buf = AppendValue(buf, c)
+	}
+	return buf
+}
+
+// EncodeTuple encodes a tuple into a fresh buffer.
+func EncodeTuple(t Tuple) []byte {
+	return AppendTuple(make([]byte, 0, 16+8*len(t.Cells)), t)
+}
+
+// DecodeTuple decodes one tuple from buf, returning it and the number of
+// bytes consumed.
+func DecodeTuple(buf []byte) (Tuple, int, error) {
+	id, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return Tuple{}, 0, fmt.Errorf("model: decode tuple id")
+	}
+	pos := sz
+	n, sz := binary.Uvarint(buf[pos:])
+	if sz <= 0 {
+		return Tuple{}, 0, fmt.Errorf("model: decode tuple arity")
+	}
+	pos += sz
+	cells := make([]Value, n)
+	for i := range cells {
+		v, used, err := DecodeValue(buf[pos:])
+		if err != nil {
+			return Tuple{}, 0, fmt.Errorf("model: decode cell %d: %w", i, err)
+		}
+		cells[i] = v
+		pos += used
+	}
+	return Tuple{ID: int64(id), Cells: cells}, pos, nil
+}

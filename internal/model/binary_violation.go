@@ -1,0 +1,159 @@
+package model
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary encoding for cells, violations, fixes and fix sets, used when the
+// MapReduce backend spills detection output to disk and by the storage
+// manager when persisting violation reports.
+
+// AppendCell appends the binary encoding of c to buf.
+func AppendCell(buf []byte, c Cell) []byte {
+	buf = binary.AppendVarint(buf, c.TupleID)
+	buf = binary.AppendVarint(buf, int64(c.Col))
+	buf = binary.AppendUvarint(buf, uint64(len(c.Attr)))
+	buf = append(buf, c.Attr...)
+	return AppendValue(buf, c.Value)
+}
+
+// DecodeCell decodes one cell, returning it and the bytes consumed.
+func DecodeCell(buf []byte) (Cell, int, error) {
+	id, n := binary.Varint(buf)
+	if n <= 0 {
+		return Cell{}, 0, fmt.Errorf("model: decode cell tuple id")
+	}
+	pos := n
+	col, n := binary.Varint(buf[pos:])
+	if n <= 0 {
+		return Cell{}, 0, fmt.Errorf("model: decode cell col")
+	}
+	pos += n
+	alen, n := binary.Uvarint(buf[pos:])
+	if n <= 0 {
+		return Cell{}, 0, fmt.Errorf("model: decode cell attr length")
+	}
+	pos += n
+	if pos+int(alen) > len(buf) {
+		return Cell{}, 0, fmt.Errorf("model: cell attr truncated")
+	}
+	attr := string(buf[pos : pos+int(alen)])
+	pos += int(alen)
+	v, n, err := DecodeValue(buf[pos:])
+	if err != nil {
+		return Cell{}, 0, err
+	}
+	return Cell{TupleID: id, Col: int(col), Attr: attr, Value: v}, pos + n, nil
+}
+
+// AppendViolation appends the binary encoding of v to buf.
+func AppendViolation(buf []byte, v Violation) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(v.RuleID)))
+	buf = append(buf, v.RuleID...)
+	buf = binary.AppendUvarint(buf, uint64(len(v.Cells)))
+	for _, c := range v.Cells {
+		buf = AppendCell(buf, c)
+	}
+	return buf
+}
+
+// DecodeViolation decodes one violation, returning it and the bytes consumed.
+func DecodeViolation(buf []byte) (Violation, int, error) {
+	rlen, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return Violation{}, 0, fmt.Errorf("model: decode violation rule length")
+	}
+	pos := n
+	if pos+int(rlen) > len(buf) {
+		return Violation{}, 0, fmt.Errorf("model: violation rule truncated")
+	}
+	rule := string(buf[pos : pos+int(rlen)])
+	pos += int(rlen)
+	ncells, n := binary.Uvarint(buf[pos:])
+	if n <= 0 {
+		return Violation{}, 0, fmt.Errorf("model: decode violation arity")
+	}
+	pos += n
+	cells := make([]Cell, ncells)
+	for i := range cells {
+		c, used, err := DecodeCell(buf[pos:])
+		if err != nil {
+			return Violation{}, 0, fmt.Errorf("model: decode violation cell %d: %w", i, err)
+		}
+		cells[i] = c
+		pos += used
+	}
+	return Violation{RuleID: rule, Cells: cells}, pos, nil
+}
+
+// AppendFix appends the binary encoding of f to buf.
+func AppendFix(buf []byte, f Fix) []byte {
+	buf = AppendCell(buf, f.Left)
+	buf = append(buf, byte(f.Op))
+	if f.RightIsCell {
+		buf = append(buf, 1)
+		return AppendCell(buf, f.RightCell)
+	}
+	buf = append(buf, 0)
+	return AppendValue(buf, f.RightConst)
+}
+
+// DecodeFix decodes one fix, returning it and the bytes consumed.
+func DecodeFix(buf []byte) (Fix, int, error) {
+	left, pos, err := DecodeCell(buf)
+	if err != nil {
+		return Fix{}, 0, err
+	}
+	if pos+2 > len(buf) {
+		return Fix{}, 0, fmt.Errorf("model: fix header truncated")
+	}
+	op := Op(buf[pos])
+	isCell := buf[pos+1] == 1
+	pos += 2
+	if isCell {
+		right, n, err := DecodeCell(buf[pos:])
+		if err != nil {
+			return Fix{}, 0, err
+		}
+		return Fix{Left: left, Op: op, RightIsCell: true, RightCell: right}, pos + n, nil
+	}
+	v, n, err := DecodeValue(buf[pos:])
+	if err != nil {
+		return Fix{}, 0, err
+	}
+	return Fix{Left: left, Op: op, RightConst: v}, pos + n, nil
+}
+
+// EncodeFixSet encodes a violation with its possible fixes.
+func EncodeFixSet(fs FixSet) []byte {
+	buf := AppendViolation(nil, fs.Violation)
+	buf = binary.AppendUvarint(buf, uint64(len(fs.Fixes)))
+	for _, f := range fs.Fixes {
+		buf = AppendFix(buf, f)
+	}
+	return buf
+}
+
+// DecodeFixSet decodes an encoded fix set.
+func DecodeFixSet(buf []byte) (FixSet, error) {
+	v, pos, err := DecodeViolation(buf)
+	if err != nil {
+		return FixSet{}, err
+	}
+	nf, n := binary.Uvarint(buf[pos:])
+	if n <= 0 {
+		return FixSet{}, fmt.Errorf("model: decode fix count")
+	}
+	pos += n
+	fixes := make([]Fix, nf)
+	for i := range fixes {
+		f, used, err := DecodeFix(buf[pos:])
+		if err != nil {
+			return FixSet{}, fmt.Errorf("model: decode fix %d: %w", i, err)
+		}
+		fixes[i] = f
+		pos += used
+	}
+	return FixSet{Violation: v, Fixes: fixes}, nil
+}

@@ -1,0 +1,173 @@
+package model
+
+import "fmt"
+
+// Op is a comparison operator appearing in rule predicates and possible
+// fixes. The paper's fix language is `x op y` with op in {=,≠,<,>,≤,≥}
+// (Section 2.1).
+type Op uint8
+
+const (
+	// OpEQ is equality (=).
+	OpEQ Op = iota
+	// OpNEQ is inequality (≠).
+	OpNEQ
+	// OpLT is less-than (<).
+	OpLT
+	// OpGT is greater-than (>).
+	OpGT
+	// OpLE is less-or-equal (≤).
+	OpLE
+	// OpGE is greater-or-equal (≥).
+	OpGE
+)
+
+// String renders the operator in ASCII.
+func (o Op) String() string {
+	switch o {
+	case OpEQ:
+		return "="
+	case OpNEQ:
+		return "!="
+	case OpLT:
+		return "<"
+	case OpGT:
+		return ">"
+	case OpLE:
+		return "<="
+	case OpGE:
+		return ">="
+	default:
+		return "?"
+	}
+}
+
+// ParseOp parses an ASCII operator token.
+func ParseOp(s string) (Op, error) {
+	switch s {
+	case "=", "==":
+		return OpEQ, nil
+	case "!=", "<>":
+		return OpNEQ, nil
+	case "<":
+		return OpLT, nil
+	case ">":
+		return OpGT, nil
+	case "<=":
+		return OpLE, nil
+	case ">=":
+		return OpGE, nil
+	default:
+		return OpEQ, fmt.Errorf("model: unknown operator %q", s)
+	}
+}
+
+// Negate returns the logical negation of the operator: the fix that resolves
+// a violated predicate is the predicate's negation.
+func (o Op) Negate() Op {
+	switch o {
+	case OpEQ:
+		return OpNEQ
+	case OpNEQ:
+		return OpEQ
+	case OpLT:
+		return OpGE
+	case OpGT:
+		return OpLE
+	case OpLE:
+		return OpGT
+	case OpGE:
+		return OpLT
+	default:
+		return o
+	}
+}
+
+// Flip returns the operator with its operands swapped: a op b iff b flip(op) a.
+func (o Op) Flip() Op {
+	switch o {
+	case OpLT:
+		return OpGT
+	case OpGT:
+		return OpLT
+	case OpLE:
+		return OpGE
+	case OpGE:
+		return OpLE
+	default: // = and != are symmetric
+		return o
+	}
+}
+
+// Eval applies the operator to two values.
+func (o Op) Eval(a, b Value) bool {
+	c := Compare(a, b)
+	switch o {
+	case OpEQ:
+		return c == 0
+	case OpNEQ:
+		return c != 0
+	case OpLT:
+		return c < 0
+	case OpGT:
+		return c > 0
+	case OpLE:
+		return c <= 0
+	case OpGE:
+		return c >= 0
+	default:
+		return false
+	}
+}
+
+// IsOrdering reports whether the operator is an order comparison
+// (<, >, <=, >=) — the class OCJoin accelerates.
+func (o Op) IsOrdering() bool {
+	return o == OpLT || o == OpGT || o == OpLE || o == OpGE
+}
+
+// Fix is one possible update that would help resolve a violation:
+// Left op Right, where Right is either another cell or a constant
+// (Section 2.1). GenFix emits fixes; repair algorithms choose among them.
+type Fix struct {
+	Left Cell
+	Op   Op
+	// RightCell is valid when RightIsCell is true; otherwise RightConst
+	// holds a constant target value.
+	RightIsCell bool
+	RightCell   Cell
+	RightConst  Value
+}
+
+// NewCellFix builds a fix relating two cells, e.g. t2[city] = t4[city].
+func NewCellFix(left Cell, op Op, right Cell) Fix {
+	return Fix{Left: left, Op: op, RightIsCell: true, RightCell: right}
+}
+
+// NewConstFix builds a fix against a constant, e.g. t2[zipcode] != 90210.
+func NewConstFix(left Cell, op Op, c Value) Fix {
+	return Fix{Left: left, Op: op, RightConst: c}
+}
+
+// Cells returns the cells the fix touches (one or two).
+func (f Fix) Cells() []Cell {
+	if f.RightIsCell {
+		return []Cell{f.Left, f.RightCell}
+	}
+	return []Cell{f.Left}
+}
+
+// String renders the fix for diagnostics.
+func (f Fix) String() string {
+	if f.RightIsCell {
+		return fmt.Sprintf("%s %s %s", f.Left, f.Op, f.RightCell)
+	}
+	return fmt.Sprintf("%s %s %s", f.Left, f.Op, f.RightConst)
+}
+
+// FixSet groups the possible fixes generated for one violation, keeping the
+// provenance needed by the repair hypergraph.
+type FixSet struct {
+	Violation Violation
+	Fixes     []Fix
+}

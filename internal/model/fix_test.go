@@ -1,0 +1,121 @@
+package model
+
+import "testing"
+
+func TestOpEval(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b Value
+		want bool
+	}{
+		{OpEQ, I(1), I(1), true},
+		{OpEQ, I(1), I(2), false},
+		{OpNEQ, S("a"), S("b"), true},
+		{OpLT, F(1.5), F(2), true},
+		{OpGT, I(3), F(2.5), true},
+		{OpLE, I(2), I(2), true},
+		{OpGE, I(1), I(2), false},
+	}
+	for _, c := range cases {
+		if got := c.op.Eval(c.a, c.b); got != c.want {
+			t.Errorf("%v %v %v = %v, want %v", c.a, c.op, c.b, got, c.want)
+		}
+	}
+}
+
+func TestOpNegateIsInvolution(t *testing.T) {
+	ops := []Op{OpEQ, OpNEQ, OpLT, OpGT, OpLE, OpGE}
+	for _, op := range ops {
+		if op.Negate().Negate() != op {
+			t.Errorf("negate twice of %v != itself", op)
+		}
+	}
+	// Negation inverts truth on every comparable pair.
+	vals := []Value{I(1), I(2), I(3)}
+	for _, op := range ops {
+		for _, a := range vals {
+			for _, b := range vals {
+				if op.Eval(a, b) == op.Negate().Eval(a, b) {
+					t.Errorf("%v and its negation agree on %v,%v", op, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestOpFlip(t *testing.T) {
+	vals := []Value{I(1), I(2)}
+	for _, op := range []Op{OpEQ, OpNEQ, OpLT, OpGT, OpLE, OpGE} {
+		for _, a := range vals {
+			for _, b := range vals {
+				if op.Eval(a, b) != op.Flip().Eval(b, a) {
+					t.Errorf("flip law fails for %v on %v,%v", op, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestParseOp(t *testing.T) {
+	for s, want := range map[string]Op{"=": OpEQ, "==": OpEQ, "!=": OpNEQ, "<>": OpNEQ, "<": OpLT, ">": OpGT, "<=": OpLE, ">=": OpGE} {
+		got, err := ParseOp(s)
+		if err != nil || got != want {
+			t.Errorf("ParseOp(%q) = %v,%v", s, got, err)
+		}
+	}
+	if _, err := ParseOp("~"); err == nil {
+		t.Error("bad op should error")
+	}
+}
+
+func TestIsOrdering(t *testing.T) {
+	if OpEQ.IsOrdering() || OpNEQ.IsOrdering() {
+		t.Error("= and != are not ordering")
+	}
+	for _, op := range []Op{OpLT, OpGT, OpLE, OpGE} {
+		if !op.IsOrdering() {
+			t.Errorf("%v is ordering", op)
+		}
+	}
+}
+
+func TestViolationKeyOrderInvariant(t *testing.T) {
+	c1 := NewCell(1, 0, "a", S("x"))
+	c2 := NewCell(2, 1, "b", S("y"))
+	v1 := NewViolation("r", c1, c2)
+	v2 := NewViolation("r", c2, c1)
+	if v1.Key() != v2.Key() {
+		t.Error("violation key should be order invariant")
+	}
+	v3 := NewViolation("other", c1, c2)
+	if v1.Key() == v3.Key() {
+		t.Error("different rules should have different keys")
+	}
+}
+
+func TestViolationTupleIDs(t *testing.T) {
+	v := NewViolation("r",
+		NewCell(5, 0, "a", Null()),
+		NewCell(2, 0, "a", Null()),
+		NewCell(5, 1, "b", Null()))
+	ids := v.TupleIDs()
+	if len(ids) != 2 || ids[0] != 2 || ids[1] != 5 {
+		t.Errorf("TupleIDs = %v", ids)
+	}
+}
+
+func TestFixCells(t *testing.T) {
+	l := NewCell(1, 0, "a", S("x"))
+	r := NewCell(2, 0, "a", S("y"))
+	cf := NewCellFix(l, OpEQ, r)
+	if len(cf.Cells()) != 2 {
+		t.Error("cell fix touches two cells")
+	}
+	kf := NewConstFix(l, OpNEQ, S("z"))
+	if len(kf.Cells()) != 1 {
+		t.Error("const fix touches one cell")
+	}
+	if kf.String() == "" || cf.String() == "" {
+		t.Error("String renders")
+	}
+}

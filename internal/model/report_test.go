@@ -1,0 +1,91 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleFixSets() []FixSet {
+	c1 := NewCell(1, 2, "city", S("LA"))
+	c2 := NewCell(4, 2, "city", S("SF"))
+	c3 := NewCell(9, 5, "rate", F(12.5))
+	return []FixSet{
+		{
+			Violation: NewViolation("phi1", c1, c2),
+			Fixes:     []Fix{NewCellFix(c1, OpEQ, c2)},
+		},
+		{
+			Violation: NewViolation("cap", c3),
+			Fixes:     []Fix{NewConstFix(c3, OpLE, F(10))},
+		},
+		{
+			Violation: NewViolation("detectOnly", c1), // no fixes
+		},
+	}
+}
+
+func TestWriteViolationsCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteViolationsCSV(&buf, sampleFixSets()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header + 2 cells + 1 cell + 1 cell.
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "rule,violation,tuple") {
+		t.Errorf("header = %s", lines[0])
+	}
+	if !strings.Contains(out, "phi1") || !strings.Contains(out, "12.5") {
+		t.Error("report should carry rule ids and values")
+	}
+}
+
+func TestFixSetsBinaryRoundTrip(t *testing.T) {
+	sets := sampleFixSets()
+	var buf bytes.Buffer
+	if err := WriteFixSetsBinary(&buf, sets); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFixSetsBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(sets) {
+		t.Fatalf("round trip count: %d vs %d", len(got), len(sets))
+	}
+	for i := range sets {
+		if got[i].Violation.Key() != sets[i].Violation.Key() {
+			t.Errorf("set %d violation mismatch", i)
+		}
+		if len(got[i].Fixes) != len(sets[i].Fixes) {
+			t.Errorf("set %d fixes: %d vs %d", i, len(got[i].Fixes), len(sets[i].Fixes))
+		}
+		for j := range sets[i].Fixes {
+			if got[i].Fixes[j].String() != sets[i].Fixes[j].String() {
+				t.Errorf("set %d fix %d: %s vs %s", i, j, got[i].Fixes[j], sets[i].Fixes[j])
+			}
+		}
+	}
+}
+
+func TestReadFixSetsBinaryEmpty(t *testing.T) {
+	got, err := ReadFixSetsBinary(bytes.NewReader(nil))
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty stream: %v, %v", got, err)
+	}
+}
+
+func TestReadFixSetsBinaryTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFixSetsBinary(&buf, sampleFixSets()); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := ReadFixSetsBinary(bytes.NewReader(raw[:len(raw)-3])); err == nil {
+		t.Error("truncated stream should error")
+	}
+}

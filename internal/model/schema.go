@@ -1,0 +1,129 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Attribute describes one column of a Schema.
+type Attribute struct {
+	Name string
+	Kind Kind
+}
+
+// Schema names and types the elements of a data unit. Schemas are immutable
+// after construction; layers share them by pointer.
+type Schema struct {
+	attrs []Attribute
+	index map[string]int
+}
+
+// NewSchema builds a schema from attribute definitions. Attribute names must
+// be unique (case-insensitive); NewSchema panics otherwise because a
+// duplicate attribute is a programming error, not a data error.
+func NewSchema(attrs ...Attribute) *Schema {
+	s := &Schema{attrs: attrs, index: make(map[string]int, len(attrs))}
+	for i, a := range attrs {
+		key := strings.ToLower(a.Name)
+		if _, dup := s.index[key]; dup {
+			panic(fmt.Sprintf("model: duplicate attribute %q in schema", a.Name))
+		}
+		s.index[key] = i
+	}
+	return s
+}
+
+// MustParseSchema parses "name:string,zipcode:int,rate:float" notation.
+// Attributes without an explicit kind default to string.
+func MustParseSchema(spec string) *Schema {
+	parts := strings.Split(spec, ",")
+	attrs := make([]Attribute, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		name, kindName, ok := strings.Cut(p, ":")
+		kind := KindString
+		if ok {
+			switch strings.TrimSpace(strings.ToLower(kindName)) {
+			case "string", "str", "text":
+				kind = KindString
+			case "int", "integer", "long":
+				kind = KindInt
+			case "float", "double", "real":
+				kind = KindFloat
+			default:
+				panic(fmt.Sprintf("model: unknown kind %q in schema spec", kindName))
+			}
+		}
+		attrs = append(attrs, Attribute{Name: strings.TrimSpace(name), Kind: kind})
+	}
+	return NewSchema(attrs...)
+}
+
+// Len returns the number of attributes.
+func (s *Schema) Len() int { return len(s.attrs) }
+
+// Attr returns the i-th attribute.
+func (s *Schema) Attr(i int) Attribute { return s.attrs[i] }
+
+// Attrs returns a copy of the attribute list.
+func (s *Schema) Attrs() []Attribute {
+	out := make([]Attribute, len(s.attrs))
+	copy(out, s.attrs)
+	return out
+}
+
+// Index returns the position of the named attribute (case-insensitive) and
+// whether it exists.
+func (s *Schema) Index(name string) (int, bool) {
+	i, ok := s.index[strings.ToLower(name)]
+	return i, ok
+}
+
+// MustIndex is Index but panics on a missing attribute; used where rule
+// construction has already validated names.
+func (s *Schema) MustIndex(name string) int {
+	i, ok := s.Index(name)
+	if !ok {
+		panic(fmt.Sprintf("model: schema has no attribute %q", name))
+	}
+	return i
+}
+
+// Name returns the name of the i-th attribute.
+func (s *Schema) Name(i int) string { return s.attrs[i].Name }
+
+// Names returns all attribute names in order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.attrs))
+	for i, a := range s.attrs {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// Project builds a schema containing only the attributes at the given
+// positions, in the given order.
+func (s *Schema) Project(cols []int) *Schema {
+	attrs := make([]Attribute, len(cols))
+	for i, c := range cols {
+		attrs[i] = s.attrs[c]
+	}
+	return NewSchema(attrs...)
+}
+
+// String renders the schema in MustParseSchema notation.
+func (s *Schema) String() string {
+	var b strings.Builder
+	for i, a := range s.attrs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(a.Name)
+		b.WriteByte(':')
+		b.WriteString(a.Kind.String())
+	}
+	return b.String()
+}

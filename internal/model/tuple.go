@@ -1,0 +1,119 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tuple is the relational data unit. ID is a dataset-wide unique identifier
+// assigned at parse time; repairs address cells as (tuple ID, attribute).
+type Tuple struct {
+	ID    int64
+	Cells []Value
+}
+
+// NewTuple builds a tuple with the given id and cell values.
+func NewTuple(id int64, cells ...Value) Tuple {
+	return Tuple{ID: id, Cells: cells}
+}
+
+// Cell returns the i-th cell value; out-of-range indexes yield null, the
+// same leniency the paper's UDF operators rely on.
+func (t Tuple) Cell(i int) Value {
+	if i < 0 || i >= len(t.Cells) {
+		return Null()
+	}
+	return t.Cells[i]
+}
+
+// WithCell returns a copy of the tuple with cell i replaced. The original
+// tuple is not modified; repairs build new instances.
+func (t Tuple) WithCell(i int, v Value) Tuple {
+	cells := make([]Value, len(t.Cells))
+	copy(cells, t.Cells)
+	if i >= 0 && i < len(cells) {
+		cells[i] = v
+	}
+	return Tuple{ID: t.ID, Cells: cells}
+}
+
+// Clone returns a deep copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	cells := make([]Value, len(t.Cells))
+	copy(cells, t.Cells)
+	return Tuple{ID: t.ID, Cells: cells}
+}
+
+// Project returns a tuple holding only the cells at the given positions,
+// preserving the tuple ID so downstream fixes still address the original.
+func (t Tuple) Project(cols []int) Tuple {
+	cells := make([]Value, len(cols))
+	for i, c := range cols {
+		cells[i] = t.Cell(c)
+	}
+	return Tuple{ID: t.ID, Cells: cells}
+}
+
+// String renders the tuple for diagnostics.
+func (t Tuple) String() string {
+	parts := make([]string, len(t.Cells))
+	for i, c := range t.Cells {
+		parts[i] = c.String()
+	}
+	return fmt.Sprintf("t%d(%s)", t.ID, strings.Join(parts, ", "))
+}
+
+// TuplePair is an ordered pair of tuples, the unit Iterate feeds to a
+// binary Detect.
+type TuplePair struct {
+	Left, Right Tuple
+}
+
+// Relation couples a schema with its tuples. It is the in-memory dataset
+// handed to jobs and returned by parsers and generators.
+type Relation struct {
+	Name   string
+	Schema *Schema
+	Tuples []Tuple
+}
+
+// NewRelation builds an empty relation.
+func NewRelation(name string, schema *Schema) *Relation {
+	return &Relation{Name: name, Schema: schema}
+}
+
+// Append adds tuples to the relation.
+func (r *Relation) Append(ts ...Tuple) { r.Tuples = append(r.Tuples, ts...) }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.Tuples) }
+
+// Clone deep-copies the relation (schema is shared: schemas are immutable).
+func (r *Relation) Clone() *Relation {
+	out := &Relation{Name: r.Name, Schema: r.Schema, Tuples: make([]Tuple, len(r.Tuples))}
+	for i, t := range r.Tuples {
+		out.Tuples[i] = t.Clone()
+	}
+	return out
+}
+
+// ByID builds an index from tuple ID to position in Tuples.
+func (r *Relation) ByID() map[int64]int {
+	idx := make(map[int64]int, len(r.Tuples))
+	for i, t := range r.Tuples {
+		idx[t.ID] = i
+	}
+	return idx
+}
+
+// Apply destructively sets the cell (tupleID, col) to v, returning false if
+// the tuple ID is unknown. It is the primitive the repair loop uses when
+// materializing chosen fixes.
+func (r *Relation) Apply(idx map[int64]int, tupleID int64, col int, v Value) bool {
+	i, ok := idx[tupleID]
+	if !ok || col < 0 || col >= len(r.Tuples[i].Cells) {
+		return false
+	}
+	r.Tuples[i].Cells[col] = v
+	return true
+}

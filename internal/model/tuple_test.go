@@ -1,0 +1,116 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTupleCellBounds(t *testing.T) {
+	tp := NewTuple(1, S("a"), I(2))
+	if tp.Cell(0) != S("a") || tp.Cell(1) != I(2) {
+		t.Error("in-range cells")
+	}
+	if !tp.Cell(-1).IsNull() || !tp.Cell(2).IsNull() {
+		t.Error("out-of-range cells should be null")
+	}
+}
+
+func TestWithCellDoesNotMutate(t *testing.T) {
+	tp := NewTuple(1, S("a"), S("b"))
+	tp2 := tp.WithCell(1, S("z"))
+	if tp.Cell(1) != S("b") {
+		t.Error("original mutated")
+	}
+	if tp2.Cell(1) != S("z") || tp2.ID != 1 {
+		t.Error("copy not updated")
+	}
+}
+
+func TestTupleProjectKeepsID(t *testing.T) {
+	tp := NewTuple(9, S("a"), S("b"), S("c"))
+	p := tp.Project([]int{2, 0})
+	if p.ID != 9 || len(p.Cells) != 2 || p.Cell(0) != S("c") || p.Cell(1) != S("a") {
+		t.Errorf("projection = %v", p)
+	}
+}
+
+func TestRelationApply(t *testing.T) {
+	s := MustParseSchema("a,b")
+	r := NewRelation("r", s)
+	r.Append(NewTuple(10, S("x"), S("y")), NewTuple(11, S("p"), S("q")))
+	idx := r.ByID()
+	if !r.Apply(idx, 11, 0, S("new")) {
+		t.Fatal("apply failed")
+	}
+	if r.Tuples[1].Cell(0) != S("new") {
+		t.Error("apply did not update")
+	}
+	if r.Apply(idx, 99, 0, S("no")) {
+		t.Error("apply with unknown id should fail")
+	}
+	if r.Apply(idx, 10, 5, S("no")) {
+		t.Error("apply with bad column should fail")
+	}
+}
+
+func TestRelationCloneIsDeep(t *testing.T) {
+	s := MustParseSchema("a")
+	r := NewRelation("r", s)
+	r.Append(NewTuple(0, S("x")))
+	c := r.Clone()
+	c.Tuples[0].Cells[0] = S("changed")
+	if r.Tuples[0].Cell(0) != S("x") {
+		t.Error("clone should be deep")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	s := MustParseSchema("name,zip:int,rate:float")
+	in := "name,zip,rate\nAnnie,10011,3.1\nLaure,90210,5\n"
+	rel, err := ReadCSV(strings.NewReader(in), "tax", s, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 2 {
+		t.Fatalf("rows = %d", rel.Len())
+	}
+	if rel.Tuples[0].ID != 0 || rel.Tuples[1].ID != 1 {
+		t.Error("sequential ids")
+	}
+	if rel.Tuples[1].Cell(1) != I(90210) {
+		t.Errorf("typed parse: %v", rel.Tuples[1].Cell(1))
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rel, true); err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := ReadCSV(bytes.NewReader(buf.Bytes()), "tax", s, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel2.Len() != rel.Len() {
+		t.Fatal("round trip row count")
+	}
+	for i := range rel.Tuples {
+		for j := 0; j < s.Len(); j++ {
+			if !rel.Tuples[i].Cell(j).Equal(rel2.Tuples[i].Cell(j)) {
+				t.Errorf("cell %d,%d mismatch: %v vs %v", i, j, rel.Tuples[i].Cell(j), rel2.Tuples[i].Cell(j))
+			}
+		}
+	}
+}
+
+func TestCSVShortRowsPadded(t *testing.T) {
+	s := MustParseSchema("a,b,c")
+	rel, err := ReadCSV(strings.NewReader("1,2\n"), "r", s, false, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Tuples[0].ID != 5 {
+		t.Error("startID respected")
+	}
+	if !rel.Tuples[0].Cell(2).IsNull() {
+		t.Error("short row should pad with null")
+	}
+}

@@ -1,0 +1,192 @@
+// Package model defines the data model shared by every layer of BigDansing:
+// typed values, tuples (the relational data units of the paper), schemas,
+// cells (the "elements" of data units), violations, and possible fixes.
+//
+// The paper abstracts input data as "data units" with "elements" identified
+// by model-specific functions (Section 2.1). In this reproduction the
+// canonical unit is the Tuple; other models (for example RDF triples, see
+// package rdf) are parsed into Tuples with an appropriate Schema.
+package model
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the runtime type of a Value.
+type Kind uint8
+
+const (
+	// KindNull is the zero Value; it compares less than every other value.
+	KindNull Kind = iota
+	// KindString is a UTF-8 string value.
+	KindString
+	// KindInt is a 64-bit signed integer value.
+	KindInt
+	// KindFloat is a 64-bit floating point value.
+	KindFloat
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a dynamically typed cell value. It is a small tagged union kept
+// flat (no pointers, no interface boxing) so that large datasets stay cheap
+// to copy between dataflow partitions.
+type Value struct {
+	Kind Kind
+	Str  string
+	Int  int64
+	Flt  float64
+}
+
+// Null returns the null value.
+func Null() Value { return Value{} }
+
+// S returns a string Value.
+func S(s string) Value { return Value{Kind: KindString, Str: s} }
+
+// I returns an integer Value.
+func I(i int64) Value { return Value{Kind: KindInt, Int: i} }
+
+// F returns a float Value.
+func F(f float64) Value { return Value{Kind: KindFloat, Flt: f} }
+
+// IsNull reports whether v is the null value.
+func (v Value) IsNull() bool { return v.Kind == KindNull }
+
+// String renders the value for display and for use as a grouping key.
+// Distinct values of the same kind always render distinctly.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindNull:
+		return ""
+	case KindString:
+		return v.Str
+	case KindInt:
+		return strconv.FormatInt(v.Int, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.Flt, 'g', -1, 64)
+	default:
+		return ""
+	}
+}
+
+// Key returns a string key that is unique across kinds, suitable for hash
+// grouping where I(1) must not collide with S("1").
+func (v Value) Key() string {
+	switch v.Kind {
+	case KindNull:
+		return "n|"
+	case KindString:
+		return "s|" + v.Str
+	case KindInt:
+		return "i|" + strconv.FormatInt(v.Int, 10)
+	case KindFloat:
+		return "f|" + strconv.FormatFloat(v.Flt, 'g', -1, 64)
+	default:
+		return "?|"
+	}
+}
+
+// Float returns the value as a float64. Integers widen; strings parse if
+// possible, otherwise 0.
+func (v Value) Float() float64 {
+	switch v.Kind {
+	case KindFloat:
+		return v.Flt
+	case KindInt:
+		return float64(v.Int)
+	case KindString:
+		f, err := strconv.ParseFloat(strings.TrimSpace(v.Str), 64)
+		if err != nil {
+			return 0
+		}
+		return f
+	default:
+		return 0
+	}
+}
+
+// Equal reports whether two values are equal. Numeric values of different
+// kinds compare by numeric value, so I(2) equals F(2).
+func (v Value) Equal(o Value) bool { return Compare(v, o) == 0 }
+
+// numeric reports whether the value carries a numeric kind.
+func (v Value) numeric() bool { return v.Kind == KindInt || v.Kind == KindFloat }
+
+// Compare orders two values: null < everything; numerics order numerically
+// (across int/float kinds); strings order lexicographically; a numeric
+// compared with a string falls back to string comparison of renderings.
+func Compare(a, b Value) int {
+	if a.Kind == KindNull || b.Kind == KindNull {
+		switch {
+		case a.Kind == KindNull && b.Kind == KindNull:
+			return 0
+		case a.Kind == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if a.numeric() && b.numeric() {
+		if a.Kind == KindInt && b.Kind == KindInt {
+			switch {
+			case a.Int < b.Int:
+				return -1
+			case a.Int > b.Int:
+				return 1
+			default:
+				return 0
+			}
+		}
+		af, bf := a.Float(), b.Float()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return strings.Compare(a.String(), b.String())
+}
+
+// Parse converts raw text to a Value of the requested kind. Unparseable
+// numerics become null, matching the lenient CSV ingestion the paper's
+// parsers perform.
+func Parse(raw string, kind Kind) Value {
+	switch kind {
+	case KindString:
+		return S(raw)
+	case KindInt:
+		i, err := strconv.ParseInt(strings.TrimSpace(raw), 10, 64)
+		if err != nil {
+			return Null()
+		}
+		return I(i)
+	case KindFloat:
+		f, err := strconv.ParseFloat(strings.TrimSpace(raw), 64)
+		if err != nil {
+			return Null()
+		}
+		return F(f)
+	default:
+		return Null()
+	}
+}

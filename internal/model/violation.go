@@ -1,0 +1,97 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Cell addresses one element of a data unit: attribute Col of tuple TupleID.
+// Value carries the element's value at detection time so repair algorithms
+// can reason about violations without re-reading the dataset.
+type Cell struct {
+	TupleID int64
+	Col     int
+	Attr    string
+	Value   Value
+}
+
+// NewCell builds a cell reference.
+func NewCell(tupleID int64, col int, attr string, v Value) Cell {
+	return Cell{TupleID: tupleID, Col: col, Attr: attr, Value: v}
+}
+
+// Key identifies the cell position (ignoring the captured value); two fixes
+// touching the same Key touch the same element.
+func (c Cell) Key() string {
+	buf := make([]byte, 0, 24)
+	buf = strconv.AppendInt(buf, c.TupleID, 10)
+	buf = append(buf, '#')
+	buf = strconv.AppendInt(buf, int64(c.Col), 10)
+	return string(buf)
+}
+
+// String renders the cell for diagnostics.
+func (c Cell) String() string {
+	return fmt.Sprintf("t%d.%s=%s", c.TupleID, c.Attr, c.Value)
+}
+
+// Violation is the output of Detect: the set of elements that together
+// break a rule (Section 2.1).
+type Violation struct {
+	RuleID string
+	Cells  []Cell
+}
+
+// NewViolation builds a violation for the given rule.
+func NewViolation(ruleID string, cells ...Cell) Violation {
+	return Violation{RuleID: ruleID, Cells: cells}
+}
+
+// AddCell appends an element to the violation.
+func (v *Violation) AddCell(c Cell) { v.Cells = append(v.Cells, c) }
+
+// TupleIDs returns the distinct tuple IDs involved, sorted.
+func (v Violation) TupleIDs() []int64 {
+	seen := make(map[int64]struct{}, len(v.Cells))
+	for _, c := range v.Cells {
+		seen[c.TupleID] = struct{}{}
+	}
+	ids := make([]int64, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Key returns a canonical identity for the violation: rule plus the sorted
+// cell positions. Engines that may emit a violation twice (for example a SQL
+// self-join emitting both (t1,t2) and (t2,t1)) dedupe on this key.
+func (v Violation) Key() string {
+	keys := make([]string, len(v.Cells))
+	for i, c := range v.Cells {
+		keys[i] = c.Key()
+	}
+	sort.Strings(keys)
+	buf := make([]byte, 0, len(v.RuleID)+1+len(keys)*12)
+	buf = append(buf, v.RuleID...)
+	buf = append(buf, '|')
+	for i, k := range keys {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, k...)
+	}
+	return string(buf)
+}
+
+// String renders the violation for diagnostics.
+func (v Violation) String() string {
+	parts := make([]string, len(v.Cells))
+	for i, c := range v.Cells {
+		parts[i] = c.String()
+	}
+	return fmt.Sprintf("violation[%s]{%s}", v.RuleID, strings.Join(parts, "; "))
+}

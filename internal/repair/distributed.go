@@ -1,0 +1,222 @@
+package repair
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"bigdansing/internal/graph"
+	"bigdansing/internal/mapred"
+	"bigdansing/internal/model"
+)
+
+// DistributedEquivalenceClass is the natively distributed equivalence-class
+// algorithm of Section 5.2, modeled as a distributed word count with two
+// map-reduce sequences:
+//
+//	job 1  map:    possible fix -> ⟨⟨ccID,value⟩, 1⟩ (each element's value
+//	               counted once per class, as the paper requires)
+//	       reduce: count occurrences  -> ⟨⟨ccID,value⟩, count⟩
+//	job 2  map:    ⟨⟨ccID,value⟩, count⟩ -> ⟨ccID, ⟨value,count⟩⟩
+//	       reduce: pick the most frequent value per class and assign it to
+//	               every element of the class
+//
+// The class ("ccID") is the equivalence class the fixes induce — computed
+// with a union-find over equality fixes, which coincides with the connected
+// component for single-FD workloads the paper describes.
+type DistributedEquivalenceClass struct {
+	Engine  *mapred.Engine
+	Splits  int
+	Reduces int
+}
+
+// Name identifies the algorithm.
+func (d *DistributedEquivalenceClass) Name() string { return "equivalence-class-mr" }
+
+// Repair implements Algorithm using the two map-reduce sequences.
+func (d *DistributedEquivalenceClass) Repair(component []model.FixSet) ([]Assignment, error) {
+	if d.Engine == nil {
+		return nil, fmt.Errorf("repair: distributed equivalence class needs a MapReduce engine")
+	}
+
+	// Preprocessing (the "connected component ID" the paper's first map
+	// assumes available): union cells linked by equality fixes.
+	uf := graph.NewUnionFind()
+	idOf := map[string]int64{}
+	cells := map[string]model.Cell{}
+	next := int64(0)
+	intern := func(c model.Cell) int64 {
+		k := c.Key()
+		if id, ok := idOf[k]; ok {
+			return id
+		}
+		idOf[k] = next
+		cells[k] = c
+		uf.Add(next)
+		next++
+		return idOf[k]
+	}
+	consts := map[string][]model.Value{} // cell key -> required constants
+	for _, fs := range component {
+		for _, c := range fs.Violation.Cells {
+			intern(c)
+		}
+		for _, f := range fs.Fixes {
+			if f.Op != model.OpEQ {
+				continue
+			}
+			l := intern(f.Left)
+			if f.RightIsCell {
+				uf.Union(l, intern(f.RightCell))
+			} else {
+				consts[f.Left.Key()] = append(consts[f.Left.Key()], f.RightConst)
+			}
+		}
+	}
+	classOf := func(k string) int64 { return uf.Find(idOf[k]) }
+
+	// ---- Job 1 input: one record per element: ccID value (value counted
+	// once per element, satisfying "if an element exists in multiple fixes,
+	// we only count its value once"). Constants enter with a boosted count
+	// so they win the vote (hard requirements).
+	var input [][]byte
+	classSize := map[int64]int{}
+	for k := range idOf {
+		classSize[classOf(k)]++
+	}
+	encodeRec := func(cc int64, v model.Value, weight int) []byte {
+		var buf []byte
+		buf = binary.AppendVarint(buf, cc)
+		buf = binary.AppendVarint(buf, int64(weight))
+		return model.AppendValue(buf, v)
+	}
+	for k, c := range cells {
+		cc := classOf(k)
+		input = append(input, encodeRec(cc, c.Value, 1))
+		for _, cv := range consts[k] {
+			input = append(input, encodeRec(cc, cv, classSize[cc]+1))
+		}
+	}
+
+	decodeRec := func(rec []byte) (int64, int, model.Value, error) {
+		cc, n := binary.Varint(rec)
+		if n <= 0 {
+			return 0, 0, model.Value{}, fmt.Errorf("repair: bad cc id")
+		}
+		w, m := binary.Varint(rec[n:])
+		if m <= 0 {
+			return 0, 0, model.Value{}, fmt.Errorf("repair: bad weight")
+		}
+		v, _, err := model.DecodeValue(rec[n+m:])
+		return cc, int(w), v, err
+	}
+
+	// combineCounts sums the weight prefixes map-side (the Combine task of
+	// Appendix G.2), so each map task spills one record per ⟨ccID,value⟩.
+	combineCounts := func(key string, values [][]byte) [][]byte {
+		total := int64(0)
+		var payload []byte
+		for i, raw := range values {
+			w, n := binary.Varint(raw)
+			total += w
+			if i == 0 {
+				payload = raw[n:]
+			}
+		}
+		var wbuf [10]byte
+		n := binary.PutVarint(wbuf[:], total)
+		return [][]byte{append(wbuf[:n:n], payload...)}
+	}
+
+	// ---- Job 1: count ⟨ccID,value⟩ occurrences.
+	counted, err := d.Engine.RunWithCombiner(input, d.Splits, d.Reduces,
+		func(rec []byte, emit mapred.Emit) {
+			cc, w, v, err := decodeRec(rec)
+			if err != nil {
+				panic(err)
+			}
+			key := strconv.FormatInt(cc, 10) + "\x1f" + v.Key()
+			var wbuf [10]byte
+			n := binary.PutVarint(wbuf[:], int64(w))
+			emit(key, append(wbuf[:n:n], model.AppendValue(nil, v)...))
+		},
+		combineCounts,
+		func(key string, values [][]byte, emit func([]byte)) {
+			total := 0
+			var v model.Value
+			for i, raw := range values {
+				w, n := binary.Varint(raw)
+				total += int(w)
+				if i == 0 {
+					dv, _, err := model.DecodeValue(raw[n:])
+					if err != nil {
+						panic(err)
+					}
+					v = dv
+				}
+			}
+			ccStr, _, _ := strings.Cut(key, "\x1f")
+			cc, _ := strconv.ParseInt(ccStr, 10, 64)
+			emit(encodeRec(cc, v, total))
+		})
+	if err != nil {
+		return nil, fmt.Errorf("repair: MR job 1: %w", err)
+	}
+
+	// ---- Job 2: per ccID pick the most frequent value.
+	winners, err := d.Engine.Run(counted, d.Splits, d.Reduces,
+		func(rec []byte, emit mapred.Emit) {
+			cc, _, _, err := decodeRec(rec)
+			if err != nil {
+				panic(err)
+			}
+			emit(strconv.FormatInt(cc, 10), rec)
+		},
+		func(key string, values [][]byte, emit func([]byte)) {
+			bestCount := -1
+			var best model.Value
+			var cc int64
+			for _, raw := range values {
+				c, w, v, err := decodeRec(raw)
+				if err != nil {
+					panic(err)
+				}
+				cc = c
+				if w > bestCount || (w == bestCount && v.String() < best.String()) {
+					bestCount, best = w, v
+				}
+			}
+			emit(encodeRec(cc, best, bestCount))
+		})
+	if err != nil {
+		return nil, fmt.Errorf("repair: MR job 2: %w", err)
+	}
+
+	target := map[int64]model.Value{}
+	for _, rec := range winners {
+		cc, _, v, err := decodeRec(rec)
+		if err != nil {
+			return nil, err
+		}
+		target[cc] = v
+	}
+
+	// Emit assignments for every element whose value differs from its
+	// class target; singleton classes without constant requirements keep
+	// their value.
+	var out []Assignment
+	for k, c := range cells {
+		cc := classOf(k)
+		if classSize[cc] == 1 && len(consts[k]) == 0 {
+			continue
+		}
+		t, ok := target[cc]
+		if !ok || c.Value.Equal(t) {
+			continue
+		}
+		out = append(out, Assignment{TupleID: c.TupleID, Col: c.Col, Attr: c.Attr, Value: t})
+	}
+	sortAssignments(out)
+	return out, nil
+}

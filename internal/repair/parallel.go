@@ -1,0 +1,241 @@
+package repair
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"bigdansing/internal/graph"
+	"bigdansing/internal/model"
+)
+
+// Options configures the parallel black-box repair of Section 5.1.
+type Options struct {
+	// Parallelism bounds concurrent repair instances (<=0: 4).
+	Parallelism int
+	// MaxComponentSize is the hyperedge count above which a connected
+	// component is split k-ways across repair instances, emulating the
+	// "component does not fit in memory" case (<=0: no splitting).
+	MaxComponentSize int
+	// KParts is the split fan-out for oversized components (<=0: 2).
+	KParts int
+	// MaxReconcileIters bounds the master/slave reconciliation loop
+	// (<=0: 10).
+	MaxReconcileIters int
+}
+
+// Report describes one parallel repair run.
+type Report struct {
+	Components      int
+	SplitComponents int
+	Conflicts       int
+	Assignments     int
+}
+
+// RepairParallel runs the centralized algorithm algo as a black box over
+// the violations, in parallel (Section 5.1):
+//
+//  1. the fix sets form a hypergraph (nodes: elements; hyperedges: the
+//     elements of one violation plus its fixes);
+//  2. its connected components are computed with BSP label propagation
+//     (the GraphX step of Figure 7);
+//  3. each component becomes an independent repair instance;
+//  4. components larger than MaxComponentSize are split k-ways; the first
+//     part plays master and its changes are immutable — a slave assignment
+//     contradicting a master (or earlier-slave) assignment is undone and
+//     re-repaired in the next reconciliation iteration (Example 2's
+//     protocol), which always terminates because settled values never
+//     change again.
+func RepairParallel(fixSets []model.FixSet, algo Algorithm, opts Options) ([]Assignment, *Report, error) {
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = 4
+	}
+	if opts.KParts <= 0 {
+		opts.KParts = 2
+	}
+	if opts.MaxReconcileIters <= 0 {
+		opts.MaxReconcileIters = 10
+	}
+	report := &Report{}
+	if len(fixSets) == 0 {
+		return nil, report, nil
+	}
+
+	// 1. Hypergraph.
+	edges := make([]graph.Hyperedge, len(fixSets))
+	for i, fs := range fixSets {
+		edges[i] = graph.Hyperedge{ID: int64(i), Nodes: cellsOfFixSet(fs)}
+	}
+	hg := graph.NewHypergraph(edges)
+
+	// 2. Connected components (BSP).
+	cc, err := hg.ConnectedComponents(opts.Parallelism)
+	if err != nil {
+		return nil, nil, fmt.Errorf("repair: connected components: %w", err)
+	}
+	byComp := map[int64][]int{}
+	for i := range fixSets {
+		comp := cc[int64(i)]
+		byComp[comp] = append(byComp[comp], i)
+	}
+	report.Components = len(byComp)
+
+	compIDs := make([]int64, 0, len(byComp))
+	for id := range byComp {
+		compIDs = append(compIDs, id)
+	}
+	sort.Slice(compIDs, func(i, j int) bool { return compIDs[i] < compIDs[j] })
+
+	// 3-4. Repair instances in parallel.
+	results := make([][]Assignment, len(compIDs))
+	errs := make([]error, len(compIDs))
+	splits := make([]bool, len(compIDs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opts.Parallelism)
+	for i, id := range compIDs {
+		wg.Add(1)
+		go func(slot int, compID int64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[slot] = fmt.Errorf("repair: instance for component %d panicked: %v", compID, r)
+				}
+			}()
+			comp := make([]model.FixSet, len(byComp[compID]))
+			for j, fi := range byComp[compID] {
+				comp[j] = fixSets[fi]
+			}
+			if opts.MaxComponentSize > 0 && len(comp) > opts.MaxComponentSize {
+				splits[slot] = true
+				as, conflicts, err := repairSplit(comp, algo, opts)
+				report.Conflicts += conflicts
+				results[slot], errs[slot] = as, err
+				return
+			}
+			as, err := algo.Repair(comp)
+			results[slot], errs[slot] = as, err
+		}(i, id)
+	}
+	wg.Wait()
+	var all []Assignment
+	for i := range results {
+		if errs[i] != nil {
+			return nil, nil, errs[i]
+		}
+		if splits[i] {
+			report.SplitComponents++
+		}
+		all = append(all, results[i]...)
+	}
+	all = dedupeAssignments(all)
+	sortAssignments(all)
+	report.Assignments = len(all)
+	return all, report, nil
+}
+
+// repairSplit handles one oversized component: split it k-ways with the
+// greedy hypergraph partitioner, run the algorithm per part, and reconcile
+// under the master-immutable protocol.
+func repairSplit(comp []model.FixSet, algo Algorithm, opts Options) ([]Assignment, int, error) {
+	edges := make([]graph.Hyperedge, len(comp))
+	for i, fs := range comp {
+		edges[i] = graph.Hyperedge{ID: int64(i), Nodes: cellsOfFixSet(fs)}
+	}
+	parts := graph.NewHypergraph(edges).PartitionKWay(opts.KParts)
+
+	// immutable holds settled cell values; once a cell lands here it can
+	// never change, which guarantees the loop reaches a fixpoint.
+	immutable := map[string]model.Value{}
+	var accepted []Assignment
+	conflicts := 0
+
+	pending := make([][]model.FixSet, len(parts))
+	for pi, part := range parts {
+		sub := make([]model.FixSet, len(part))
+		for j, e := range part {
+			sub[j] = comp[e.ID]
+		}
+		pending[pi] = sub
+	}
+
+	for iter := 0; iter < opts.MaxReconcileIters; iter++ {
+		anyPending := false
+		progressed := false
+		for pi := range pending {
+			if len(pending[pi]) == 0 {
+				continue
+			}
+			anyPending = true
+			as, err := algo.Repair(pending[pi])
+			if err != nil {
+				return nil, conflicts, err
+			}
+			var redo []model.FixSet
+			conflicted := map[string]bool{}
+			for _, a := range as {
+				if v, settled := immutable[a.Key()]; settled {
+					if !v.Equal(a.Value) {
+						// Contradicts an immutable (master/earlier) change:
+						// undo and retry next iteration.
+						conflicts++
+						conflicted[a.Key()] = true
+					}
+					continue
+				}
+				immutable[a.Key()] = a.Value
+				accepted = append(accepted, a)
+				progressed = true
+			}
+			if len(conflicted) > 0 {
+				// Re-queue the fix sets whose repairs were undone, with the
+				// settled values substituted in so the retry proposes
+				// repairs consistent with the master's choices.
+				for _, fs := range pending[pi] {
+					for _, k := range cellsOfFixSet(fs) {
+						if conflicted[k] {
+							redo = append(redo, substituteSettled(fs, immutable))
+							break
+						}
+					}
+				}
+			}
+			pending[pi] = redo
+		}
+		if !anyPending {
+			break
+		}
+		if !progressed {
+			// Every remaining repair contradicts settled values; the
+			// conflicting fixes are dropped (their cells are frozen).
+			break
+		}
+	}
+	sortAssignments(accepted)
+	return accepted, conflicts, nil
+}
+
+// substituteSettled rewrites a fix set so every cell that has a settled
+// (immutable) value carries it, letting a retried repair instance reason
+// from the master's state instead of the stale captured values.
+func substituteSettled(fs model.FixSet, settled map[string]model.Value) model.FixSet {
+	subCell := func(c model.Cell) model.Cell {
+		if v, ok := settled[c.Key()]; ok {
+			c.Value = v
+		}
+		return c
+	}
+	out := model.FixSet{Violation: model.Violation{RuleID: fs.Violation.RuleID}}
+	for _, c := range fs.Violation.Cells {
+		out.Violation.Cells = append(out.Violation.Cells, subCell(c))
+	}
+	for _, f := range fs.Fixes {
+		f.Left = subCell(f.Left)
+		if f.RightIsCell {
+			f.RightCell = subCell(f.RightCell)
+		}
+		out.Fixes = append(out.Fixes, f)
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+// Package repair implements BigDansing's repair side (Section 5): the
+// violation hypergraph, the parallel black-box wrapper that runs any
+// centralized repair algorithm per connected component (Section 5.1,
+// including the k-way split with the master/slave reconciliation protocol
+// for components that exceed one worker's capacity), the equivalence-class
+// algorithm [5] in both centralized and natively distributed
+// (two map-reduce sequences, Section 5.2) forms, and a hypergraph-based
+// greedy repair for denial constraints [6].
+package repair
+
+import (
+	"fmt"
+	"sort"
+
+	"bigdansing/internal/model"
+)
+
+// Assignment is one chosen update: set cell (TupleID, Col) to Value.
+type Assignment struct {
+	TupleID int64
+	Col     int
+	Attr    string
+	Value   model.Value
+}
+
+// Key identifies the assigned cell.
+func (a Assignment) Key() string { return fmt.Sprintf("%d#%d", a.TupleID, a.Col) }
+
+// String renders the assignment.
+func (a Assignment) String() string {
+	return fmt.Sprintf("t%d.%s := %s", a.TupleID, a.Attr, a.Value)
+}
+
+// Algorithm is a (centralized) repair algorithm: given the fix sets of one
+// connected component, choose the updates that resolve them. BigDansing
+// treats implementations as black boxes (Section 5.1); users can plug in
+// their own.
+type Algorithm interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+	// Repair chooses updates for one component's violations.
+	Repair(component []model.FixSet) ([]Assignment, error)
+}
+
+// Apply materializes assignments into the relation, skipping cells in
+// frozen (the termination device of Section 2.2). It returns the number of
+// cells actually changed.
+func Apply(rel *model.Relation, assignments []Assignment, frozen map[string]bool) int {
+	idx := rel.ByID()
+	changed := 0
+	for _, a := range assignments {
+		if frozen != nil && frozen[a.Key()] {
+			continue
+		}
+		if rel.Apply(idx, a.TupleID, a.Col, a.Value) {
+			changed++
+		}
+	}
+	return changed
+}
+
+// DistanceFunc measures how far a repair value moved from the original;
+// exact matches must return 0 (the cost model of Section 2.1).
+type DistanceFunc func(original, repaired model.Value) float64
+
+// UnitDistance is the exact-match distance: 0 when equal, 1 otherwise.
+func UnitDistance(a, b model.Value) float64 {
+	if a.Equal(b) {
+		return 0
+	}
+	return 1
+}
+
+// Cost sums dis(original, repaired) over all assignments, given the
+// original relation — the repair cost the algorithms greedily minimize.
+func Cost(rel *model.Relation, assignments []Assignment, dis DistanceFunc) float64 {
+	if dis == nil {
+		dis = UnitDistance
+	}
+	idx := rel.ByID()
+	total := 0.0
+	for _, a := range assignments {
+		i, ok := idx[a.TupleID]
+		if !ok {
+			continue
+		}
+		total += dis(rel.Tuples[i].Cell(a.Col), a.Value)
+	}
+	return total
+}
+
+// cellsOfFixSet collects the distinct cell keys a fix set touches — the
+// nodes its hyperedge covers (violation cells plus fix cells).
+func cellsOfFixSet(fs model.FixSet) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(c model.Cell) {
+		k := c.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	for _, c := range fs.Violation.Cells {
+		add(c)
+	}
+	for _, f := range fs.Fixes {
+		for _, c := range f.Cells() {
+			add(c)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// dedupeAssignments keeps the first assignment per cell.
+func dedupeAssignments(as []Assignment) []Assignment {
+	seen := map[string]bool{}
+	out := as[:0]
+	for _, a := range as {
+		if seen[a.Key()] {
+			continue
+		}
+		seen[a.Key()] = true
+		out = append(out, a)
+	}
+	return out
+}

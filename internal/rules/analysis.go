@@ -1,0 +1,108 @@
+package rules
+
+import (
+	"sort"
+	"strings"
+)
+
+// Static analysis over declarative rules. The paper notes that UDF
+// black-boxes defeat static analysis (Section 2.1) but that declarative
+// rules admit it, and names "multiple data quality rule optimization" as
+// future work (Section 8). This file implements the syntactic fragment:
+// predicate normalization, DC implication, and a minimal cover that drops
+// redundant DCs before planning — fewer pipelines, shared scans do the rest.
+
+// normalizePred renders a predicate in a canonical form so syntactically
+// different spellings compare equal: cross-tuple predicates are oriented
+// with t1 on the left (flipping the operator as needed), and symmetric
+// operators order their attribute pair lexicographically.
+func normalizePred(p Pred) string {
+	if p.RightIsConst {
+		return "t" + itoa(p.LeftTuple) + "." + strings.ToLower(p.LeftAttr) + p.Op.String() + "#" + p.Const.Key()
+	}
+	lt, la, op, rt, ra := p.LeftTuple, strings.ToLower(p.LeftAttr), p.Op, p.RightTuple, strings.ToLower(p.RightAttr)
+	// Orient t1 on the left, flipping the operator.
+	if lt > rt {
+		lt, la, rt, ra = rt, ra, lt, la
+		op = op.Flip()
+	}
+	// Symmetric operators compare the same either way: order the attribute
+	// pair so "t1.a = t2.b" and "t1.b = t2.a" normalize identically.
+	if lt != rt && (op.String() == "=" || op.String() == "!=") && la > ra {
+		la, ra = ra, la
+	}
+	return "t" + itoa(lt) + "." + la + op.String() + "t" + itoa(rt) + "." + ra
+}
+
+func itoa(i int) string {
+	switch i {
+	case 1:
+		return "1"
+	case 2:
+		return "2"
+	default:
+		return "?"
+	}
+}
+
+// predSet returns the normalized predicate set of a DC.
+func predSet(dc *DC) map[string]bool {
+	out := make(map[string]bool, len(dc.Preds))
+	for _, p := range dc.Preds {
+		out[normalizePred(p)] = true
+	}
+	return out
+}
+
+// Implies reports whether enforcing a entails b, by syntactic subsumption:
+// a DC forbids the conjunction of its predicates, so if a's predicates are
+// a subset of b's, every pair b forbids is already forbidden by a
+// (¬(p) entails ¬(p ∧ q)). This is sound but not complete — completeness
+// is NP-hard for general DCs.
+func Implies(a, b *DC) bool {
+	as, bs := predSet(a), predSet(b)
+	if len(as) > len(bs) {
+		return false
+	}
+	for p := range as {
+		if !bs[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equivalent reports whether the two DCs have identical normalized
+// predicate sets.
+func Equivalent(a, b *DC) bool { return Implies(a, b) && Implies(b, a) }
+
+// MinimalCover removes DCs implied by another DC in the set (including
+// exact duplicates), keeping the strongest rules. Among equivalent DCs the
+// lexicographically smallest ID survives. The result preserves the
+// violation semantics of the original set on every instance that satisfies
+// the survivors.
+func MinimalCover(dcs []*DC) []*DC {
+	// Sort by (predicate count, ID) so stronger (fewer-predicate) DCs are
+	// considered first and survive.
+	order := append([]*DC(nil), dcs...)
+	sort.SliceStable(order, func(i, j int) bool {
+		if len(order[i].Preds) != len(order[j].Preds) {
+			return len(order[i].Preds) < len(order[j].Preds)
+		}
+		return order[i].ID < order[j].ID
+	})
+	var kept []*DC
+	for _, dc := range order {
+		redundant := false
+		for _, k := range kept {
+			if Implies(k, dc) {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			kept = append(kept, dc)
+		}
+	}
+	return kept
+}

@@ -1,0 +1,91 @@
+package rules
+
+import "testing"
+
+func dc(t *testing.T, id, spec string) *DC {
+	t.Helper()
+	d, err := ParseDC(id, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestImpliesSubset(t *testing.T) {
+	strong := dc(t, "s", "t1.city = t2.city")
+	weak := dc(t, "w", "t1.city = t2.city & t1.st != t2.st")
+	if !Implies(strong, weak) {
+		t.Error("fewer predicates imply more")
+	}
+	if Implies(weak, strong) {
+		t.Error("superset does not imply subset")
+	}
+}
+
+func TestImpliesNormalizesSpelling(t *testing.T) {
+	a := dc(t, "a", "t1.city = t2.city & t1.st != t2.st")
+	b := dc(t, "b", "t2.city = t1.city & t2.st <> t1.st")
+	if !Equivalent(a, b) {
+		t.Error("reordered tuple variables and <>/!= should normalize equal")
+	}
+	c := dc(t, "c", "t1.salary > t2.salary")
+	d := dc(t, "d", "t2.salary < t1.salary")
+	if !Equivalent(c, d) {
+		t.Error("flipped inequality should normalize equal")
+	}
+}
+
+func TestImpliesDistinguishesConstants(t *testing.T) {
+	a := dc(t, "a", "t1.city = 'NYC'")
+	b := dc(t, "b", "t1.city = 'SF'")
+	if Implies(a, b) || Implies(b, a) {
+		t.Error("different constants are different predicates")
+	}
+	c := dc(t, "c", "t1.city = 'NYC'")
+	if !Equivalent(a, c) {
+		t.Error("same constant predicate should be equivalent")
+	}
+}
+
+func TestImpliesDistinguishesOps(t *testing.T) {
+	a := dc(t, "a", "t1.rate < t2.rate")
+	b := dc(t, "b", "t1.rate <= t2.rate")
+	if Implies(a, b) || Implies(b, a) {
+		t.Error("< and <= are syntactically distinct (subsumption is syntactic)")
+	}
+}
+
+func TestMinimalCover(t *testing.T) {
+	d1 := dc(t, "d1", "t1.city = t2.city & t1.st != t2.st")
+	d2 := dc(t, "d2", "t1.city = t2.city")                                         // implies d1
+	d3 := dc(t, "d3", "t2.city = t1.city")                                         // duplicate of d2
+	d4 := dc(t, "d4", "t1.salary > t2.salary & t1.rate < t2.rate")                 // independent
+	d5 := dc(t, "d5", "t1.salary > t2.salary & t1.rate < t2.rate & t1.st = t2.st") // implied by d4
+
+	cover := MinimalCover([]*DC{d1, d2, d3, d4, d5})
+	ids := map[string]bool{}
+	for _, d := range cover {
+		ids[d.ID] = true
+	}
+	if len(cover) != 2 {
+		t.Fatalf("cover = %v, want 2 rules", ids)
+	}
+	if !ids["d2"] || !ids["d4"] {
+		t.Errorf("cover should keep the strongest rules d2 and d4, got %v", ids)
+	}
+}
+
+func TestMinimalCoverKeepsIndependents(t *testing.T) {
+	d1 := dc(t, "d1", "t1.a = t2.a & t1.b != t2.b")
+	d2 := dc(t, "d2", "t1.c = t2.c & t1.d != t2.d")
+	cover := MinimalCover([]*DC{d1, d2})
+	if len(cover) != 2 {
+		t.Errorf("independent DCs must both survive, got %d", len(cover))
+	}
+}
+
+func TestMinimalCoverEmpty(t *testing.T) {
+	if got := MinimalCover(nil); len(got) != 0 {
+		t.Errorf("empty cover = %v", got)
+	}
+}

@@ -1,0 +1,427 @@
+package rules
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"bigdansing/internal/core"
+	"bigdansing/internal/join"
+	"bigdansing/internal/model"
+)
+
+// Pred is one predicate of a denial constraint, in the normal form
+// t<LeftTuple>.LeftAttr Op (t<RightTuple>.RightAttr | Const).
+type Pred struct {
+	LeftTuple int // 1 or 2
+	LeftAttr  string
+	Op        model.Op
+	// Right side: either another tuple's attribute or a constant.
+	RightIsConst bool
+	RightTuple   int
+	RightAttr    string
+	Const        model.Value
+}
+
+// CrossTuple reports whether the predicate relates the two tuples.
+func (p Pred) CrossTuple() bool { return !p.RightIsConst && p.LeftTuple != p.RightTuple }
+
+// String renders the predicate.
+func (p Pred) String() string {
+	if p.RightIsConst {
+		return fmt.Sprintf("t%d.%s %s %q", p.LeftTuple, p.LeftAttr, p.Op, p.Const.String())
+	}
+	return fmt.Sprintf("t%d.%s %s t%d.%s", p.LeftTuple, p.LeftAttr, p.Op, p.RightTuple, p.RightAttr)
+}
+
+// DC is a denial constraint ∀t1,t2 ¬(p1 ∧ p2 ∧ ...): any pair satisfying
+// every predicate is a violation. A DC whose predicates all reference t1 is
+// unary (a single-tuple check).
+type DC struct {
+	ID    string
+	Preds []Pred
+}
+
+// ParseDC parses the ASCII notation used throughout the paper's examples,
+// e.g. "t1.salary > t2.salary & t1.rate < t2.rate" or
+// "t1.city = t2.city & t1.st != t2.st" or constants:
+// "t1.role = 'M' & t1.city != 'NYC'". Predicates are separated by '&'.
+func ParseDC(id, spec string) (*DC, error) {
+	dc := &DC{ID: id}
+	for _, raw := range strings.Split(spec, "&") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		p, err := parsePred(raw)
+		if err != nil {
+			return nil, fmt.Errorf("rules: DC %s: %w", id, err)
+		}
+		dc.Preds = append(dc.Preds, p)
+	}
+	if len(dc.Preds) == 0 {
+		return nil, fmt.Errorf("rules: DC %s: no predicates in %q", id, spec)
+	}
+	return dc, nil
+}
+
+// parsePred parses "t1.attr op rhs".
+func parsePred(s string) (Pred, error) {
+	// Find the operator: try two-char ops first.
+	var op model.Op
+	var opIdx, opLen int = -1, 0
+	for _, cand := range []string{"!=", "<>", "<=", ">=", "==", "=", "<", ">"} {
+		if i := strings.Index(s, cand); i >= 0 {
+			parsed, err := model.ParseOp(cand)
+			if err != nil {
+				continue
+			}
+			op, opIdx, opLen = parsed, i, len(cand)
+			break
+		}
+	}
+	if opIdx < 0 {
+		return Pred{}, fmt.Errorf("no operator in predicate %q", s)
+	}
+	left := strings.TrimSpace(s[:opIdx])
+	right := strings.TrimSpace(s[opIdx+opLen:])
+
+	lt, lattr, err := parseRef(left)
+	if err != nil {
+		return Pred{}, err
+	}
+	p := Pred{LeftTuple: lt, LeftAttr: lattr, Op: op}
+	if rt, rattr, err := parseRef(right); err == nil {
+		p.RightTuple, p.RightAttr = rt, rattr
+		return p, nil
+	}
+	c, err := parseConst(right)
+	if err != nil {
+		return Pred{}, fmt.Errorf("right side %q is neither a tuple reference nor a constant", right)
+	}
+	p.RightIsConst = true
+	p.Const = c
+	return p, nil
+}
+
+// parseRef parses "t1.attr" / "t2.attr".
+func parseRef(s string) (int, string, error) {
+	tup, attr, ok := strings.Cut(s, ".")
+	if !ok {
+		return 0, "", fmt.Errorf("not a tuple reference: %q", s)
+	}
+	tup = strings.ToLower(strings.TrimSpace(tup))
+	attr = strings.TrimSpace(attr)
+	switch tup {
+	case "t1":
+		return 1, attr, nil
+	case "t2":
+		return 2, attr, nil
+	default:
+		return 0, "", fmt.Errorf("unknown tuple variable %q", tup)
+	}
+}
+
+// parseConst parses 'str', "str", or a number.
+func parseConst(s string) (model.Value, error) {
+	if len(s) >= 2 && (s[0] == '\'' || s[0] == '"') && s[len(s)-1] == s[0] {
+		return model.S(s[1 : len(s)-1]), nil
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return model.I(i), nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return model.F(f), nil
+	}
+	return model.Value{}, fmt.Errorf("unparseable constant %q", s)
+}
+
+// String renders the DC.
+func (dc *DC) String() string {
+	parts := make([]string, len(dc.Preds))
+	for i, p := range dc.Preds {
+		parts[i] = p.String()
+	}
+	return fmt.Sprintf("%s: not(%s)", dc.ID, strings.Join(parts, " & "))
+}
+
+// Unary reports whether all predicates reference only t1.
+func (dc *DC) Unary() bool {
+	for _, p := range dc.Preds {
+		if p.LeftTuple != 1 || (!p.RightIsConst && p.RightTuple != 1) {
+			return false
+		}
+	}
+	return true
+}
+
+// analyze classifies the predicates for enhancer selection.
+type dcShape struct {
+	eqJoins  []Pred // t1.A = t2.B
+	ordering []Pred // t1.A op t2.B with op in {<,>,<=,>=}
+	others   []Pred // cross-tuple != and anything else cross-tuple
+	constant []Pred // single-tuple predicates (constants or same-tuple refs)
+}
+
+func (dc *DC) analyze() dcShape {
+	var s dcShape
+	for _, p := range dc.Preds {
+		switch {
+		case !p.CrossTuple():
+			s.constant = append(s.constant, p)
+		case p.Op == model.OpEQ:
+			s.eqJoins = append(s.eqJoins, p)
+		case p.Op.IsOrdering():
+			s.ordering = append(s.ordering, p)
+		default:
+			s.others = append(s.others, p)
+		}
+	}
+	return s
+}
+
+// Symmetric reports whether detection is order-insensitive: every
+// cross-tuple predicate uses a symmetric operator (=, !=) on the same
+// attribute of both tuples, and single-tuple predicates come in mirrored
+// pairs (or reference t1 only in a unary DC).
+func (dc *DC) Symmetric() bool {
+	if dc.Unary() {
+		return true
+	}
+	for _, p := range dc.Preds {
+		if !p.CrossTuple() {
+			return false // a one-sided constant predicate breaks symmetry
+		}
+		if p.Op != model.OpEQ && p.Op != model.OpNEQ {
+			return false
+		}
+		if !strings.EqualFold(p.LeftAttr, p.RightAttr) {
+			return false
+		}
+	}
+	return true
+}
+
+// Compile translates the DC into a rule with the strongest applicable
+// enhancer (Section 4.2):
+//
+//   - equality predicates become the blocking key (Block, or Block plus
+//     BlockRight when the two sides key different attributes);
+//   - otherwise, if every cross-tuple predicate is an ordering comparison,
+//     they become OCJoin conditions;
+//   - otherwise detection falls back to (U)CrossProduct.
+//
+// Detect evaluates the remaining predicates; GenFix emits one possible fix
+// per predicate — its negation — following Section 2.2's example.
+func (dc *DC) Compile(schema *model.Schema) (*core.Rule, error) {
+	// Resolve all attributes up front.
+	res := make([]resolvedPred, len(dc.Preds))
+	for i, p := range dc.Preds {
+		r := resolvedPred{p: p, rCol: -1}
+		c, ok := schema.Index(p.LeftAttr)
+		if !ok {
+			return nil, fmt.Errorf("rules: DC %s: unknown attribute %q", dc.ID, p.LeftAttr)
+		}
+		r.lCol = c
+		if !p.RightIsConst {
+			c, ok := schema.Index(p.RightAttr)
+			if !ok {
+				return nil, fmt.Errorf("rules: DC %s: unknown attribute %q", dc.ID, p.RightAttr)
+			}
+			r.rCol = c
+		}
+		res[i] = r
+	}
+	byPred := make(map[string]resolvedPred, len(res))
+	for _, r := range res {
+		byPred[r.p.String()] = r
+	}
+	ruleID := dc.ID
+	shape := dc.analyze()
+
+	// evalPred evaluates a predicate against an ordered pair (a=t1, b=t2).
+	evalPred := func(r resolvedPred, a, b model.Tuple) bool {
+		lv := a.Cell(r.lCol)
+		if r.p.LeftTuple == 2 {
+			lv = b.Cell(r.lCol)
+		}
+		var rv model.Value
+		switch {
+		case r.p.RightIsConst:
+			rv = r.p.Const
+		case r.p.RightTuple == 2:
+			rv = b.Cell(r.rCol)
+		default:
+			rv = a.Cell(r.rCol)
+		}
+		return r.p.Op.Eval(lv, rv)
+	}
+
+	// cellsOf collects the referenced cells of a violating pair. DCs touch
+	// a handful of cells, so dedupe by linear scan instead of a map — this
+	// runs once per violation and violations number in the millions.
+	cellsOf := func(a, b model.Tuple) []model.Cell {
+		cells := make([]model.Cell, 0, 2*len(res))
+		addCell := func(t model.Tuple, col int) {
+			for _, c := range cells {
+				if c.TupleID == t.ID && c.Col == col {
+					return
+				}
+			}
+			cells = append(cells, model.NewCell(t.ID, col, schema.Name(col), t.Cell(col)))
+		}
+		for _, r := range res {
+			if r.p.LeftTuple == 1 {
+				addCell(a, r.lCol)
+			} else {
+				addCell(b, r.lCol)
+			}
+			if !r.p.RightIsConst {
+				if r.p.RightTuple == 1 {
+					addCell(a, r.rCol)
+				} else {
+					addCell(b, r.rCol)
+				}
+			}
+		}
+		return cells
+	}
+
+	if dc.Unary() {
+		return &core.Rule{
+			ID:    ruleID,
+			Unary: true,
+			Detect: func(it core.Item) []model.Violation {
+				t := it.One()
+				for _, r := range res {
+					if !evalPred(r, t, t) {
+						return nil
+					}
+				}
+				return []model.Violation{model.NewViolation(ruleID, cellsOf(t, t)...)}
+			},
+			GenFix: func(v model.Violation) []model.Fix {
+				return dcGenFix(schema, res, v)
+			},
+		}, nil
+	}
+
+	// detect evaluates the conjunction on the ordered pair it receives.
+	// Symmetric DCs are fed unique unordered pairs (either orientation
+	// finds the violation); asymmetric DCs are fed both orientations.
+	detect := func(it core.Item) []model.Violation {
+		a, b := it.Left(), it.Right()
+		for _, r := range res {
+			if !evalPred(r, a, b) {
+				return nil
+			}
+		}
+		return []model.Violation{model.NewViolation(ruleID, cellsOf(a, b)...)}
+	}
+
+	genFix := func(v model.Violation) []model.Fix {
+		return dcGenFix(schema, res, v)
+	}
+
+	rule := &core.Rule{ID: ruleID, Detect: detect, GenFix: genFix, Symmetric: dc.Symmetric()}
+
+	switch {
+	case len(shape.eqJoins) > 0:
+		// Block on the equality attributes. If both sides key the same
+		// columns, one Block suffices; otherwise CoBlock.
+		leftCols := make([]int, len(shape.eqJoins))
+		rightCols := make([]int, len(shape.eqJoins))
+		same := true
+		for i, p := range shape.eqJoins {
+			r := byPred[p.String()]
+			lc, rc := r.lCol, r.rCol
+			if p.LeftTuple == 2 { // normalize: left side keys t1
+				lc, rc = rc, lc
+			}
+			leftCols[i], rightCols[i] = lc, rc
+			if lc != rc {
+				same = false
+			}
+		}
+		keyOf := func(cols []int) core.BlockFunc {
+			return func(t model.Tuple) string {
+				var b strings.Builder
+				for i, c := range cols {
+					if i > 0 {
+						b.WriteByte('\x1f')
+					}
+					b.WriteString(t.Cell(c).Key())
+				}
+				return b.String()
+			}
+		}
+		rule.Block = keyOf(leftCols)
+		if !same {
+			rule.BlockRight = keyOf(rightCols)
+		} else if len(leftCols) == 1 {
+			rule.BlockAttr = schema.Name(leftCols[0])
+		}
+	case len(shape.ordering) > 0 && len(shape.others) == 0:
+		conds := make([]join.Cond, 0, len(shape.ordering))
+		for _, p := range shape.ordering {
+			r := byPred[p.String()]
+			lc, rc, op := r.lCol, r.rCol, p.Op
+			if p.LeftTuple == 2 { // normalize to t1 on the left
+				lc, rc, op = rc, lc, op.Flip()
+			}
+			conds = append(conds, join.Cond{LeftCol: lc, Op: op, RightCol: rc})
+		}
+		rule.OrderConds = conds
+	default:
+		// No enhancer applies; (U)CrossProduct via the Symmetric hint.
+	}
+	return rule, nil
+}
+
+// resolvedPred is a predicate with its attribute names resolved to column
+// indexes of the rule's schema.
+type resolvedPred struct {
+	p          Pred
+	lCol, rCol int
+}
+
+// dcGenFix proposes, for each predicate, the update that negates it —
+// expressed against the violation's captured cells.
+func dcGenFix(schema *model.Schema, res []resolvedPred, v model.Violation) []model.Fix {
+	// Index the violation's cells by (tupleOrdinal via order, col).
+	// Violations from dc detection store cells in first-seen order; find a
+	// cell by column and side by scanning.
+	findCell := func(col int, nth int) (model.Cell, bool) {
+		count := 0
+		for _, c := range v.Cells {
+			if c.Col == col {
+				if count == nth {
+					return c, true
+				}
+				count++
+			}
+		}
+		return model.Cell{}, false
+	}
+	var fixes []model.Fix
+	for _, r := range res {
+		neg := r.p.Op.Negate()
+		if r.p.RightIsConst {
+			if c, ok := findCell(r.lCol, 0); ok {
+				fixes = append(fixes, model.NewConstFix(c, neg, r.p.Const))
+			}
+			continue
+		}
+		// Cross-tuple: left cell is the first with lCol on t1's side.
+		lc, lok := findCell(r.lCol, 0)
+		nth := 0
+		if r.rCol == r.lCol {
+			nth = 1 // same attribute on both tuples: second occurrence
+		}
+		rc, rok := findCell(r.rCol, nth)
+		if lok && rok {
+			fixes = append(fixes, model.NewCellFix(lc, neg, rc))
+		}
+	}
+	return fixes
+}

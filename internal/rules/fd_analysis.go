@@ -1,0 +1,140 @@
+package rules
+
+import (
+	"sort"
+	"strings"
+)
+
+// FD static analysis: attribute closure under Armstrong's axioms, FD
+// implication, and minimal cover. Together with the DC subsumption in
+// analysis.go this implements the "multiple data quality rule optimization"
+// the paper leaves as future work (Section 8): a rule set is reduced before
+// planning, so the engine detects with fewer pipelines.
+
+// attrSet is a case-insensitive attribute set.
+type attrSet map[string]bool
+
+func newAttrSet(attrs []string) attrSet {
+	s := make(attrSet, len(attrs))
+	for _, a := range attrs {
+		s[strings.ToLower(a)] = true
+	}
+	return s
+}
+
+func (s attrSet) containsAll(attrs []string) bool {
+	for _, a := range attrs {
+		if !s[strings.ToLower(a)] {
+			return false
+		}
+	}
+	return true
+}
+
+// Closure computes the attribute closure of attrs under the FD set: the
+// largest set X+ such that attrs -> X+ is implied by fds.
+func Closure(attrs []string, fds []*FD) []string {
+	closure := newAttrSet(attrs)
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range fds {
+			if closure.containsAll(fd.LHS) {
+				for _, r := range fd.RHS {
+					k := strings.ToLower(r)
+					if !closure[k] {
+						closure[k] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(closure))
+	for a := range closure {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FDImplied reports whether fd is implied by the FD set: fd's RHS is in the
+// closure of its LHS.
+func FDImplied(fd *FD, fds []*FD) bool {
+	return newAttrSet(Closure(fd.LHS, fds)).containsAll(fd.RHS)
+}
+
+// FDMinimalCover computes a canonical cover of the FD set: right-hand
+// sides split to single attributes, extraneous left-hand attributes
+// removed, and implied FDs dropped. The surviving FDs carry derived IDs
+// ("<original-id>/<rhs>") so violations remain attributable.
+func FDMinimalCover(fds []*FD) []*FD {
+	// 1. Split RHS into singletons.
+	var singles []*FD
+	for _, fd := range fds {
+		for _, r := range fd.RHS {
+			id := fd.ID
+			if len(fd.RHS) > 1 {
+				id = fd.ID + "/" + strings.ToLower(r)
+			}
+			singles = append(singles, &FD{ID: id, LHS: append([]string(nil), fd.LHS...), RHS: []string{r}})
+		}
+	}
+	// 2. Remove extraneous LHS attributes: A is extraneous in X -> B when
+	// (X \ A)+ still contains B.
+	for _, fd := range singles {
+		for i := 0; i < len(fd.LHS); {
+			reduced := append(append([]string(nil), fd.LHS[:i]...), fd.LHS[i+1:]...)
+			if len(reduced) > 0 && newAttrSet(Closure(reduced, singles)).containsAll(fd.RHS) {
+				fd.LHS = reduced
+				continue // retry the same index against the shorter LHS
+			}
+			i++
+		}
+	}
+	// 3. Remove redundant FDs: fd is redundant when implied by the rest.
+	// Iterate to a fixpoint, dropping at most one per pass so order effects
+	// stay deterministic (earlier-declared FDs survive ties).
+	kept := append([]*FD(nil), singles...)
+	for {
+		dropped := false
+		for i := len(kept) - 1; i >= 0; i-- {
+			rest := append(append([]*FD(nil), kept[:i]...), kept[i+1:]...)
+			if FDImplied(kept[i], rest) {
+				kept = rest
+				dropped = true
+				break
+			}
+		}
+		if !dropped {
+			break
+		}
+	}
+	// 4. Merge same-LHS singletons back together for fewer pipelines.
+	type groupKey string
+	keyOf := func(lhs []string) groupKey {
+		ls := make([]string, len(lhs))
+		for i, a := range lhs {
+			ls[i] = strings.ToLower(a)
+		}
+		sort.Strings(ls)
+		return groupKey(strings.Join(ls, ","))
+	}
+	grouped := map[groupKey]*FD{}
+	var order []groupKey
+	for _, fd := range kept {
+		k := keyOf(fd.LHS)
+		if g, ok := grouped[k]; ok {
+			g.RHS = append(g.RHS, fd.RHS...)
+			g.ID = strings.SplitN(g.ID, "/", 2)[0]
+		} else {
+			cp := &FD{ID: fd.ID, LHS: fd.LHS, RHS: append([]string(nil), fd.RHS...)}
+			grouped[k] = cp
+			order = append(order, k)
+		}
+	}
+	out := make([]*FD, 0, len(order))
+	for _, k := range order {
+		out = append(out, grouped[k])
+	}
+	return out
+}

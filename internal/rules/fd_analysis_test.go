@@ -1,0 +1,132 @@
+package rules
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func fdOf(t *testing.T, id, spec string) *FD {
+	t.Helper()
+	fd, err := ParseFD(id, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fd
+}
+
+func TestClosure(t *testing.T) {
+	fds := []*FD{
+		fdOf(t, "f1", "a -> b"),
+		fdOf(t, "f2", "b -> c"),
+		fdOf(t, "f3", "c, d -> e"),
+	}
+	got := Closure([]string{"a"}, fds)
+	want := []string{"a", "b", "c"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("closure(a) = %v, want %v", got, want)
+	}
+	got = Closure([]string{"a", "d"}, fds)
+	if len(got) != 5 {
+		t.Errorf("closure(a,d) = %v, want all five", got)
+	}
+}
+
+func TestFDImplied(t *testing.T) {
+	fds := []*FD{
+		fdOf(t, "f1", "a -> b"),
+		fdOf(t, "f2", "b -> c"),
+	}
+	if !FDImplied(fdOf(t, "x", "a -> c"), fds) {
+		t.Error("transitivity: a -> c is implied")
+	}
+	if FDImplied(fdOf(t, "x", "c -> a"), fds) {
+		t.Error("c -> a is not implied")
+	}
+	if !FDImplied(fdOf(t, "x", "a, z -> b"), fds) {
+		t.Error("augmentation: a,z -> b is implied")
+	}
+}
+
+func TestFDMinimalCoverDropsImplied(t *testing.T) {
+	fds := []*FD{
+		fdOf(t, "f1", "a -> b"),
+		fdOf(t, "f2", "b -> c"),
+		fdOf(t, "f3", "a -> c"), // implied transitively
+	}
+	cover := FDMinimalCover(fds)
+	if len(cover) != 2 {
+		t.Fatalf("cover = %v, want 2 FDs", cover)
+	}
+	for _, fd := range cover {
+		if fd.ID == "f3" {
+			t.Error("implied FD should be dropped")
+		}
+	}
+}
+
+func TestFDMinimalCoverRemovesExtraneousLHS(t *testing.T) {
+	fds := []*FD{
+		fdOf(t, "f1", "a -> b"),
+		fdOf(t, "f2", "a, b -> c"), // b is extraneous given a -> b
+	}
+	cover := FDMinimalCover(fds)
+	// After removing the extraneous b, a -> c merges with a -> b into a
+	// single FD a -> b, c.
+	if len(cover) != 1 {
+		t.Fatalf("cover = %v, want one merged FD", cover)
+	}
+	if len(cover[0].LHS) != 1 || strings.ToLower(cover[0].LHS[0]) != "a" {
+		t.Errorf("lhs = %v, want [a]", cover[0].LHS)
+	}
+	rhs := append([]string(nil), cover[0].RHS...)
+	sort.Strings(rhs)
+	if strings.Join(rhs, ",") != "b,c" {
+		t.Errorf("rhs = %v, want b and c", rhs)
+	}
+}
+
+func TestFDMinimalCoverMergesSameLHS(t *testing.T) {
+	fds := []*FD{
+		fdOf(t, "f1", "pid -> city"),
+		fdOf(t, "f2", "pid -> phone"),
+	}
+	cover := FDMinimalCover(fds)
+	if len(cover) != 1 {
+		t.Fatalf("cover = %d FDs, want merged single", len(cover))
+	}
+	rhs := append([]string(nil), cover[0].RHS...)
+	sort.Strings(rhs)
+	if strings.Join(rhs, ",") != "city,phone" {
+		t.Errorf("merged rhs = %v", rhs)
+	}
+}
+
+func TestFDMinimalCoverSplitRHSIDsTraceable(t *testing.T) {
+	fds := []*FD{fdOf(t, "phi8", "pid -> city, phone"), fdOf(t, "other", "zip -> state")}
+	cover := FDMinimalCover(fds)
+	if len(cover) != 2 {
+		t.Fatalf("cover = %v", cover)
+	}
+}
+
+func TestFDMinimalCoverPreservesSemantics(t *testing.T) {
+	// Every original FD must be implied by the cover and vice versa.
+	fds := []*FD{
+		fdOf(t, "f1", "a -> b, c"),
+		fdOf(t, "f2", "b -> c"),
+		fdOf(t, "f3", "a, b -> d"),
+		fdOf(t, "f4", "a -> d"), // makes b extraneous in f3 / f3 redundant
+	}
+	cover := FDMinimalCover(fds)
+	for _, fd := range fds {
+		if !FDImplied(fd, cover) {
+			t.Errorf("original %v not implied by cover", fd)
+		}
+	}
+	for _, fd := range cover {
+		if !FDImplied(fd, fds) {
+			t.Errorf("cover FD %v not implied by originals", fd)
+		}
+	}
+}

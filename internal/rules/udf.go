@@ -1,0 +1,159 @@
+package rules
+
+import (
+	"fmt"
+	"strings"
+
+	"bigdansing/internal/core"
+	"bigdansing/internal/model"
+	"bigdansing/internal/simfn"
+)
+
+// DedupConfig configures a UDF deduplication rule like the evaluation's
+// φ4/φ5: two rows are duplicates when their names are close under
+// Levenshtein similarity and (optionally) their phones are close too.
+type DedupConfig struct {
+	// ID names the rule.
+	ID string
+	// NameAttr is the attribute compared with Levenshtein similarity.
+	NameAttr string
+	// PhoneAttr, when non-empty, must also be similar.
+	PhoneAttr string
+	// NameThreshold is the minimum normalized similarity (default 0.8).
+	NameThreshold float64
+	// PhoneThreshold is the minimum phone similarity (default 0.7).
+	PhoneThreshold float64
+	// BlockBySoundex keys candidate blocks on Soundex(name); otherwise the
+	// block key is the lower-cased first three characters. Blocking is what
+	// makes UDF dedup scale (Figure 12(a)'s full-API vs Detect-only gap).
+	BlockBySoundex bool
+}
+
+// DedupRule builds the deduplication rule over the given schema. The
+// generated GenFix proposes equating both tuples' name and phone so that
+// one of them disappears under set semantics, as Section 2.1 describes for
+// rule φU.
+func DedupRule(cfg DedupConfig, schema *model.Schema) (*core.Rule, error) {
+	nameCol, ok := schema.Index(cfg.NameAttr)
+	if !ok {
+		return nil, fmt.Errorf("rules: dedup %s: unknown attribute %q", cfg.ID, cfg.NameAttr)
+	}
+	phoneCol := -1
+	if cfg.PhoneAttr != "" {
+		phoneCol, ok = schema.Index(cfg.PhoneAttr)
+		if !ok {
+			return nil, fmt.Errorf("rules: dedup %s: unknown attribute %q", cfg.ID, cfg.PhoneAttr)
+		}
+	}
+	nameTh := cfg.NameThreshold
+	if nameTh == 0 {
+		nameTh = 0.8
+	}
+	phoneTh := cfg.PhoneThreshold
+	if phoneTh == 0 {
+		phoneTh = 0.7
+	}
+	ruleID := cfg.ID
+	nameName := schema.Name(nameCol)
+	phoneName := ""
+	if phoneCol >= 0 {
+		phoneName = schema.Name(phoneCol)
+	}
+
+	return &core.Rule{
+		ID: ruleID,
+		Block: func(t model.Tuple) string {
+			name := t.Cell(nameCol).String()
+			if cfg.BlockBySoundex {
+				return simfn.Soundex(name)
+			}
+			name = strings.ToLower(name)
+			if len(name) > 3 {
+				name = name[:3]
+			}
+			return name
+		},
+		Symmetric: true,
+		Detect: func(it core.Item) []model.Violation {
+			l, r := it.Left(), it.Right()
+			ln, rn := l.Cell(nameCol).String(), r.Cell(nameCol).String()
+			if simfn.LevenshteinSimilarity(ln, rn) < nameTh {
+				return nil
+			}
+			cells := []model.Cell{
+				model.NewCell(l.ID, nameCol, nameName, l.Cell(nameCol)),
+				model.NewCell(r.ID, nameCol, nameName, r.Cell(nameCol)),
+			}
+			if phoneCol >= 0 {
+				lp, rp := l.Cell(phoneCol).String(), r.Cell(phoneCol).String()
+				if simfn.LevenshteinSimilarity(lp, rp) < phoneTh {
+					return nil
+				}
+				cells = append(cells,
+					model.NewCell(l.ID, phoneCol, phoneName, l.Cell(phoneCol)),
+					model.NewCell(r.ID, phoneCol, phoneName, r.Cell(phoneCol)))
+			}
+			return []model.Violation{model.NewViolation(ruleID, cells...)}
+		},
+		GenFix: func(v model.Violation) []model.Fix {
+			var fixes []model.Fix
+			for i := 0; i+1 < len(v.Cells); i += 2 {
+				fixes = append(fixes, model.NewCellFix(v.Cells[i+1], model.OpEQ, v.Cells[i]))
+			}
+			return fixes
+		},
+	}, nil
+}
+
+// CountyRule builds rule φU of Example 1: two tuples refer to the same
+// individual when their names are similar and their cities fall in the same
+// county, looked up in a mapping table. It demonstrates a procedural rule
+// that no declarative formalism expresses (Section 1).
+func CountyRule(id string, schema *model.Schema, nameAttr, cityAttr string, county map[string]string, threshold float64) (*core.Rule, error) {
+	nameCol, ok := schema.Index(nameAttr)
+	if !ok {
+		return nil, fmt.Errorf("rules: %s: unknown attribute %q", id, nameAttr)
+	}
+	cityCol, ok := schema.Index(cityAttr)
+	if !ok {
+		return nil, fmt.Errorf("rules: %s: unknown attribute %q", id, cityAttr)
+	}
+	if threshold == 0 {
+		threshold = 0.8
+	}
+	getCounty := func(city string) string {
+		if c, ok := county[city]; ok {
+			return c
+		}
+		return city // unknown cities are their own county
+	}
+	nameName, cityName := schema.Name(nameCol), schema.Name(cityCol)
+	return &core.Rule{
+		ID: id,
+		// Block on county so only same-county candidates pair up.
+		Block: func(t model.Tuple) string {
+			return getCounty(t.Cell(cityCol).String())
+		},
+		Symmetric: true,
+		Detect: func(it core.Item) []model.Violation {
+			l, r := it.Left(), it.Right()
+			if simfn.LevenshteinSimilarity(l.Cell(nameCol).String(), r.Cell(nameCol).String()) < threshold {
+				return nil
+			}
+			if getCounty(l.Cell(cityCol).String()) != getCounty(r.Cell(cityCol).String()) {
+				return nil
+			}
+			return []model.Violation{model.NewViolation(id,
+				model.NewCell(l.ID, nameCol, nameName, l.Cell(nameCol)),
+				model.NewCell(r.ID, nameCol, nameName, r.Cell(nameCol)),
+				model.NewCell(l.ID, cityCol, cityName, l.Cell(cityCol)),
+				model.NewCell(r.ID, cityCol, cityName, r.Cell(cityCol)),
+			)}
+		},
+		GenFix: func(v model.Violation) []model.Fix {
+			// Propose assigning the same name so one tuple subsumes the
+			// other under set semantics.
+			return []model.Fix{model.NewCellFix(v.Cells[1], model.OpEQ, v.Cells[0])}
+		},
+	}, nil
+}

@@ -1,0 +1,370 @@
+// Package storage implements BigDansing's data storage manager
+// (Appendix F), a stand-in for the Cartilage/HDFS layer: datasets are
+// stored in a binary, column-oriented layout, logically partitioned by the
+// content of a chosen attribute, and optionally replicated with different
+// partitioning attributes. An upload plan (the dataset's metadata) is
+// persisted alongside so readers know which layout and partitioning each
+// replica carries, enabling two pushdowns:
+//
+//	Scope pushdown: read only the requested columns;
+//	Block pushdown: read only the partitions whose key matches, or iterate
+//	  partition-by-partition so blocking needs no shuffle.
+package storage
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"bigdansing/internal/model"
+)
+
+// UploadPlan is the persisted metadata of one stored dataset replica.
+type UploadPlan struct {
+	// Name is the dataset name.
+	Name string `json:"name"`
+	// Schema in MustParseSchema notation.
+	Schema string `json:"schema"`
+	// PartitionAttr is the attribute whose value hash places a tuple in a
+	// partition; empty means round-robin (size-based, like plain HDFS).
+	PartitionAttr string `json:"partition_attr,omitempty"`
+	// Partitions is the partition count.
+	Partitions int `json:"partitions"`
+	// Rows is the total tuple count.
+	Rows int `json:"rows"`
+}
+
+// Store manages dataset replicas under a root directory.
+type Store struct {
+	root string
+}
+
+// Open creates or opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: open %s: %w", dir, err)
+	}
+	return &Store{root: dir}, nil
+}
+
+// replicaDir names the directory of one replica: <name>/<partAttr or rr>.
+func (s *Store) replicaDir(name, partAttr string) string {
+	suffix := partAttr
+	if suffix == "" {
+		suffix = "_rr"
+	}
+	return filepath.Join(s.root, name, suffix)
+}
+
+// Upload writes a replica of rel partitioned on partAttr ("" = round-robin)
+// into nParts partitions, in columnar binary layout: one file per
+// (partition, column) plus an id file per partition and the upload plan.
+func (s *Store) Upload(rel *model.Relation, partAttr string, nParts int) (*UploadPlan, error) {
+	if nParts <= 0 {
+		nParts = 4
+	}
+	partCol := -1
+	if partAttr != "" {
+		c, ok := rel.Schema.Index(partAttr)
+		if !ok {
+			return nil, fmt.Errorf("storage: unknown partition attribute %q", partAttr)
+		}
+		partCol = c
+	}
+	dir := s.replicaDir(rel.Name, partAttr)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+
+	// Assign tuples to partitions.
+	parts := make([][]model.Tuple, nParts)
+	for i, t := range rel.Tuples {
+		p := i % nParts
+		if partCol >= 0 {
+			p = int(hashString(t.Cell(partCol).Key()) % uint64(nParts))
+		}
+		parts[p] = append(parts[p], t)
+	}
+
+	// Write columnar files.
+	for p, tuples := range parts {
+		// IDs.
+		var idBuf []byte
+		for _, t := range tuples {
+			idBuf = appendUvarint(idBuf, uint64(t.ID))
+		}
+		if err := os.WriteFile(partFile(dir, p, -1), idBuf, 0o644); err != nil {
+			return nil, err
+		}
+		// One file per column.
+		for c := 0; c < rel.Schema.Len(); c++ {
+			var buf []byte
+			for _, t := range tuples {
+				buf = model.AppendValue(buf, t.Cell(c))
+			}
+			if err := os.WriteFile(partFile(dir, p, c), buf, 0o644); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	plan := &UploadPlan{
+		Name:          rel.Name,
+		Schema:        rel.Schema.String(),
+		PartitionAttr: partAttr,
+		Partitions:    nParts,
+		Rows:          rel.Len(),
+	}
+	pj, err := json.MarshalIndent(plan, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "plan.json"), pj, 0o644); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
+// Datasets lists the dataset names in the store, sorted.
+func (s *Store) Datasets() ([]string, error) {
+	entries, err := os.ReadDir(s.root)
+	if err != nil {
+		return nil, fmt.Errorf("storage: list datasets: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// DeleteReplica removes one replica of a dataset; deleting the last replica
+// removes the dataset directory too.
+func (s *Store) DeleteReplica(name, partAttr string) error {
+	dir := s.replicaDir(name, partAttr)
+	if _, err := os.Stat(dir); err != nil {
+		return fmt.Errorf("storage: replica %s/%s: %w", name, partAttr, err)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		return err
+	}
+	// Drop the dataset directory when empty.
+	parent := filepath.Join(s.root, name)
+	if entries, err := os.ReadDir(parent); err == nil && len(entries) == 0 {
+		return os.Remove(parent)
+	}
+	return nil
+}
+
+// DeleteDataset removes a dataset and all its replicas.
+func (s *Store) DeleteDataset(name string) error {
+	dir := filepath.Join(s.root, name)
+	if _, err := os.Stat(dir); err != nil {
+		return fmt.Errorf("storage: dataset %s: %w", name, err)
+	}
+	return os.RemoveAll(dir)
+}
+
+// Replicas lists the partitioning attributes of the stored replicas of a
+// dataset (empty string denotes the round-robin replica).
+func (s *Store) Replicas(name string) ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(s.root, name))
+	if err != nil {
+		return nil, fmt.Errorf("storage: dataset %q: %w", name, err)
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if e.Name() == "_rr" {
+			out = append(out, "")
+		} else {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Plan reads the upload plan of a replica.
+func (s *Store) Plan(name, partAttr string) (*UploadPlan, error) {
+	raw, err := os.ReadFile(filepath.Join(s.replicaDir(name, partAttr), "plan.json"))
+	if err != nil {
+		return nil, fmt.Errorf("storage: plan for %s/%s: %w", name, partAttr, err)
+	}
+	var plan UploadPlan
+	if err := json.Unmarshal(raw, &plan); err != nil {
+		return nil, fmt.Errorf("storage: plan for %s/%s: %w", name, partAttr, err)
+	}
+	return &plan, nil
+}
+
+// ReadOptions select what Read materializes, implementing the pushdowns.
+type ReadOptions struct {
+	// Columns restricts the read to these attributes (the Scope pushdown);
+	// nil reads every column. Projected tuples keep their original IDs and
+	// the returned schema covers only the requested columns.
+	Columns []string
+	// Partition restricts the read to one partition index (>=0), used by
+	// executors that process partitions independently; -1 reads all.
+	Partition int
+	// BlockKey, with a content-partitioned replica, reads only the
+	// partition that can contain the given partition-attribute value (the
+	// Block pushdown). Empty disables it.
+	BlockKey string
+}
+
+// Read materializes (part of) a replica according to opts.
+func (s *Store) Read(name, partAttr string, opts ReadOptions) (*model.Relation, error) {
+	plan, err := s.Plan(name, partAttr)
+	if err != nil {
+		return nil, err
+	}
+	schema := model.MustParseSchema(plan.Schema)
+	dir := s.replicaDir(name, partAttr)
+
+	cols := make([]int, 0, schema.Len())
+	outSchema := schema
+	if opts.Columns != nil {
+		for _, cn := range opts.Columns {
+			c, ok := schema.Index(cn)
+			if !ok {
+				return nil, fmt.Errorf("storage: unknown column %q", cn)
+			}
+			cols = append(cols, c)
+		}
+		outSchema = schema.Project(cols)
+	} else {
+		for c := 0; c < schema.Len(); c++ {
+			cols = append(cols, c)
+		}
+	}
+
+	partsToRead := make([]int, 0, plan.Partitions)
+	switch {
+	case opts.BlockKey != "":
+		if plan.PartitionAttr == "" {
+			return nil, fmt.Errorf("storage: block pushdown needs a content-partitioned replica")
+		}
+		partsToRead = append(partsToRead, int(hashString(opts.BlockKey)%uint64(plan.Partitions)))
+	case opts.Partition >= 0:
+		if opts.Partition >= plan.Partitions {
+			return nil, fmt.Errorf("storage: partition %d out of range (%d)", opts.Partition, plan.Partitions)
+		}
+		partsToRead = append(partsToRead, opts.Partition)
+	default:
+		for p := 0; p < plan.Partitions; p++ {
+			partsToRead = append(partsToRead, p)
+		}
+	}
+
+	rel := model.NewRelation(name, outSchema)
+	for _, p := range partsToRead {
+		ids, err := readIDs(partFile(dir, p, -1))
+		if err != nil {
+			return nil, err
+		}
+		colVals := make([][]model.Value, len(cols))
+		for i, c := range cols {
+			vals, err := readColumn(partFile(dir, p, c), len(ids))
+			if err != nil {
+				return nil, err
+			}
+			colVals[i] = vals
+		}
+		for r, id := range ids {
+			cells := make([]model.Value, len(cols))
+			for i := range cols {
+				cells[i] = colVals[i][r]
+			}
+			rel.Append(model.Tuple{ID: id, Cells: cells})
+		}
+	}
+	return rel, nil
+}
+
+func partFile(dir string, part, col int) string {
+	if col < 0 {
+		return filepath.Join(dir, fmt.Sprintf("p%d.ids", part))
+	}
+	return filepath.Join(dir, fmt.Sprintf("p%d.c%d", part, col))
+}
+
+func readIDs(path string) ([]int64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	var out []int64
+	pos := 0
+	for pos < len(raw) {
+		v, n := uvarint(raw[pos:])
+		if n <= 0 {
+			return nil, fmt.Errorf("storage: corrupt id file %s", path)
+		}
+		out = append(out, int64(v))
+		pos += n
+	}
+	return out, nil
+}
+
+func readColumn(path string, n int) ([]model.Value, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	out := make([]model.Value, 0, n)
+	pos := 0
+	for pos < len(raw) {
+		v, used, err := model.DecodeValue(raw[pos:])
+		if err != nil {
+			return nil, fmt.Errorf("storage: corrupt column file %s: %w", path, err)
+		}
+		out = append(out, v)
+		pos += used
+	}
+	if len(out) != n {
+		return nil, fmt.Errorf("storage: column file %s has %d values, want %d", path, len(out), n)
+	}
+	return out, nil
+}
+
+// hashString is FNV-1a, matching the partitioner used at upload time.
+func hashString(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func appendUvarint(buf []byte, v uint64) []byte {
+	for v >= 0x80 {
+		buf = append(buf, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(buf, byte(v))
+}
+
+func uvarint(buf []byte) (uint64, int) {
+	var v uint64
+	var shift uint
+	for i, b := range buf {
+		if b < 0x80 {
+			return v | uint64(b)<<shift, i + 1
+		}
+		v |= uint64(b&0x7f) << shift
+		shift += 7
+		if shift > 63 {
+			return 0, -1
+		}
+	}
+	return 0, 0
+}
