@@ -1,0 +1,23 @@
+# Verification targets for the repo. `make check` is what CI should run.
+
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/engine/... ./internal/repair/...
+
+bench:
+	$(GO) test -run xxx -bench 'Table2Datasets|Fig9' -benchtime 1x .
+	$(GO) test -run xxx -bench . -benchtime 5x ./internal/engine/

@@ -93,7 +93,8 @@ func BenchmarkFig8aCleansing(b *testing.B) {
 		ctx := engine.New(8)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			cleaner := &cleanse.Cleaner{Ctx: ctx, Rules: []*core.Rule{rule}, Algo: algo, Parallel: true}
+			cleaner := cleanse.NewCleaner(ctx, []*core.Rule{rule},
+				cleanse.WithAlgorithm(algo), cleanse.WithParallelRepair(repair.Options{}))
 			if _, err := cleaner.Clean(rel); err != nil {
 				b.Fatal(err)
 			}
@@ -122,7 +123,8 @@ func BenchmarkFig8bErrorRates(b *testing.B) {
 		b.Run(fmt.Sprintf("err-%g", rate*100), func(b *testing.B) {
 			ctx := engine.New(8)
 			for i := 0; i < b.N; i++ {
-				cleaner := &cleanse.Cleaner{Ctx: ctx, Rules: []*core.Rule{rule}, Parallel: true}
+				cleaner := cleanse.NewCleaner(ctx, []*core.Rule{rule},
+					cleanse.WithParallelRepair(repair.Options{}))
 				if _, err := cleaner.Clean(rel); err != nil {
 					b.Fatal(err)
 				}
@@ -384,7 +386,7 @@ func BenchmarkTable4Quality(b *testing.B) {
 	ctx := engine.New(8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cleaner := &cleanse.Cleaner{Ctx: ctx, Rules: ruleSet, Parallel: true}
+		cleaner := cleanse.NewCleaner(ctx, ruleSet, cleanse.WithParallelRepair(repair.Options{}))
 		res, err := cleaner.Clean(truth.Dirty)
 		if err != nil {
 			b.Fatal(err)

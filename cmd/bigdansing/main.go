@@ -47,6 +47,7 @@ func run(args []string, out io.Writer) error {
 		parallel = fs.Bool("parallel-repair", false, "use the parallel black-box repair (Section 5.1)")
 		maxIter  = fs.Int("max-iterations", 10, "bound on the detect-repair loop")
 		verbose  = fs.Bool("v", false, "print every violation")
+		stats    = fs.Bool("stats", false, "print the per-stage dataflow execution breakdown")
 		vioOut   = fs.String("violations-out", "", "write the violation report (with possible fixes) to this CSV")
 	)
 	var fds, dcs, cfds, dedups multiFlag
@@ -120,6 +121,11 @@ func run(args []string, out io.Writer) error {
 	}
 
 	ctx := engine.New(*workers)
+	if *stats {
+		defer func() {
+			fmt.Fprintf(out, "\ndataflow stages:\n%s", ctx.Stats().Snapshot())
+		}()
+	}
 	switch *mode {
 	case "explain":
 		lp, err := core.PlanRules(ruleSet, rel)
@@ -169,13 +175,14 @@ func run(args []string, out io.Writer) error {
 		default:
 			return fmt.Errorf("unknown repair algorithm %q", *algoName)
 		}
-		cleaner := &cleanse.Cleaner{
-			Ctx:           ctx,
-			Rules:         ruleSet,
-			Algo:          algo,
-			Parallel:      *parallel,
-			MaxIterations: *maxIter,
+		opts := []cleanse.Option{
+			cleanse.WithAlgorithm(algo),
+			cleanse.WithMaxIterations(*maxIter),
 		}
+		if *parallel {
+			opts = append(opts, cleanse.WithParallelRepair(repair.Options{}))
+		}
+		cleaner := cleanse.NewCleaner(ctx, ruleSet, opts...)
 		res, err := cleaner.Clean(rel)
 		if err != nil {
 			return err

@@ -176,3 +176,23 @@ func TestDedupFlag(t *testing.T) {
 		t.Errorf("dedup output: %s", out.String())
 	}
 }
+
+func TestStatsFlag(t *testing.T) {
+	input := writeTaxCSV(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-input", input, "-schema", taxSchema,
+		"-fd", "zipcode -> city",
+		"-mode", "detect", "-stats",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "dataflow stages:") {
+		t.Fatalf("-stats should print the stage breakdown:\n%s", text)
+	}
+	if !strings.Contains(text, "stage") || !strings.Contains(text, "tasks") {
+		t.Fatalf("breakdown should be the per-stage table:\n%s", text)
+	}
+}

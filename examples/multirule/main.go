@@ -17,6 +17,7 @@ import (
 	"bigdansing/internal/core"
 	"bigdansing/internal/datagen"
 	"bigdansing/internal/engine"
+	"bigdansing/internal/repair"
 	"bigdansing/internal/rules"
 )
 
@@ -58,12 +59,10 @@ func main() {
 		ruleSet = append(ruleSet, r)
 	}
 
-	cleaner := &cleanse.Cleaner{
-		Ctx:         engine.New(8),
-		Rules:       ruleSet,
-		Parallel:    true,
-		Incremental: true, // later iterations only re-detect repaired blocks
-	}
+	cleaner := cleanse.NewCleaner(engine.New(8), ruleSet,
+		cleanse.WithParallelRepair(repair.Options{}),
+		cleanse.WithIncremental(), // later iterations only re-detect repaired blocks
+	)
 	t0 := time.Now()
 	res, err := cleaner.Clean(truth.Dirty)
 	if err != nil {

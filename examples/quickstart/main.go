@@ -13,6 +13,7 @@ import (
 	"bigdansing/internal/core"
 	"bigdansing/internal/engine"
 	"bigdansing/internal/model"
+	"bigdansing/internal/repair"
 	"bigdansing/internal/rules"
 )
 
@@ -83,11 +84,8 @@ func main() {
 	}
 
 	// Full cleansing: iterate detection and repair until clean.
-	cleaner := &cleanse.Cleaner{
-		Ctx:      ctx,
-		Rules:    []*core.Rule{phiF},
-		Parallel: true,
-	}
+	cleaner := cleanse.NewCleaner(ctx, []*core.Rule{phiF},
+		cleanse.WithParallelRepair(repair.Options{}))
 	result, err := cleaner.Clean(data)
 	if err != nil {
 		log.Fatal(err)

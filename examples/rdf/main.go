@@ -16,6 +16,7 @@ import (
 	"bigdansing/internal/engine"
 	"bigdansing/internal/model"
 	"bigdansing/internal/rdf"
+	"bigdansing/internal/repair"
 )
 
 const graph = `
@@ -76,7 +77,7 @@ func main() {
 		fmt.Println(" ", v)
 	}
 
-	cleaner := &cleanse.Cleaner{Ctx: ctx, Rules: []*core.Rule{rule}, Parallel: true}
+	cleaner := cleanse.NewCleaner(ctx, []*core.Rule{rule}, cleanse.WithParallelRepair(repair.Options{}))
 	result, err := cleaner.Clean(students)
 	if err != nil {
 		log.Fatal(err)

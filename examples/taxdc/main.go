@@ -65,12 +65,9 @@ func main() {
 
 	// Repair with the hypergraph algorithm inside the parallel black-box
 	// wrapper, then score against the ground truth.
-	cleaner := &cleanse.Cleaner{
-		Ctx:      ctx,
-		Rules:    []*core.Rule{rule},
-		Algo:     &repair.Hypergraph{},
-		Parallel: true,
-	}
+	cleaner := cleanse.NewCleaner(ctx, []*core.Rule{rule},
+		cleanse.WithAlgorithm(&repair.Hypergraph{}),
+		cleanse.WithParallelRepair(repair.Options{}))
 	t0 = time.Now()
 	result, err := cleaner.Clean(truth.Dirty)
 	if err != nil {

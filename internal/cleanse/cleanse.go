@@ -45,6 +45,54 @@ type Cleaner struct {
 	Incremental bool
 }
 
+// Option configures a Cleaner built with NewCleaner.
+type Option func(*Cleaner)
+
+// WithAlgorithm selects the repair algorithm. nil keeps the default
+// equivalence-class algorithm.
+func WithAlgorithm(a repair.Algorithm) Option {
+	return func(c *Cleaner) { c.Algo = a }
+}
+
+// WithParallelRepair enables the black-box parallel repair of Section 5.1
+// with the given options. The zero Options value uses the repair package
+// defaults.
+func WithParallelRepair(opts repair.Options) Option {
+	return func(c *Cleaner) {
+		c.Parallel = true
+		c.RepairOpts = opts
+	}
+}
+
+// WithIncremental re-detects only the blocks touched by the previous
+// iteration's repairs on rules that support block-incremental maintenance.
+func WithIncremental() Option {
+	return func(c *Cleaner) { c.Incremental = true }
+}
+
+// WithMaxIterations bounds the detect-repair loop. Values <= 0 keep the
+// default of 10.
+func WithMaxIterations(n int) Option {
+	return func(c *Cleaner) { c.MaxIterations = n }
+}
+
+// WithFreezeAfter pins a cell after n updates (the termination device of
+// Section 2.2). Values <= 0 keep the default of 3.
+func WithFreezeAfter(n int) Option {
+	return func(c *Cleaner) { c.FreezeAfter = n }
+}
+
+// NewCleaner builds a Cleaner over ctx and rules, applying any options. It
+// is the preferred construction path; the Cleaner struct remains exported
+// for callers that need to set fields directly.
+func NewCleaner(ctx *engine.Context, rules []*core.Rule, opts ...Option) *Cleaner {
+	c := &Cleaner{Ctx: ctx, Rules: rules}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
 // Result reports one cleansing run.
 type Result struct {
 	// Clean is the repaired instance (the input is not modified).

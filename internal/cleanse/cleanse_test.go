@@ -230,3 +230,46 @@ func TestCleanSplitTimesAreRecorded(t *testing.T) {
 		t.Error("repair time should be recorded")
 	}
 }
+
+// TestNewCleanerOptions checks the functional-options constructor wires
+// every option onto the struct it returns.
+func TestNewCleanerOptions(t *testing.T) {
+	ctx := engine.New(2)
+	rel := dirtyTax(3, 5, 1)
+	r := fdZipCity(t, rel)
+	hg := &repair.Hypergraph{}
+	c := NewCleaner(ctx, []*core.Rule{r},
+		WithAlgorithm(hg),
+		WithParallelRepair(repair.Options{Parallelism: 3}),
+		WithIncremental(),
+		WithMaxIterations(7),
+		WithFreezeAfter(2),
+	)
+	if c.Ctx != ctx || len(c.Rules) != 1 || c.Rules[0] != r {
+		t.Fatal("ctx/rules not wired")
+	}
+	if c.Algo != hg {
+		t.Error("WithAlgorithm not applied")
+	}
+	if !c.Parallel || c.RepairOpts.Parallelism != 3 {
+		t.Error("WithParallelRepair not applied")
+	}
+	if !c.Incremental {
+		t.Error("WithIncremental not applied")
+	}
+	if c.MaxIterations != 7 {
+		t.Error("WithMaxIterations not applied")
+	}
+	if c.FreezeAfter != 2 {
+		t.Error("WithFreezeAfter not applied")
+	}
+
+	// A cleaner built with options must actually clean.
+	res, err := c.Clean(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemainingViolations != 0 {
+		t.Errorf("remaining violations: %d", res.RemainingViolations)
+	}
+}

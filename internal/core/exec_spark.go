@@ -38,7 +38,10 @@ func (r *DetectResult) Merge(o *DetectResult) {
 // in-memory dataflow backend (Appendix G.1's translation): Scope becomes
 // map/filter, Block becomes groupByKey, CoBlock becomes cogroup, Iterate
 // becomes the chosen pair enumeration (or OCJoin), Detect and GenFix become
-// flat maps. Violations are deduplicated on their canonical key, matching
+// flat maps. The backend is lazy, so each pipeline's narrow tail —
+// enumeration, Detect, GenFix — fuses into a single per-partition stage at
+// the pipeline's collect; only Block/CoBlock shuffles break the pipeline
+// into stages. Violations are deduplicated on their canonical key, matching
 // the paper's observation that BigDansing, unlike SQL self-joins, does not
 // emit duplicate violations.
 func RunPlanSpark(ctx *engine.Context, pp *PhysicalPlan) (*DetectResult, error) {
@@ -99,6 +102,8 @@ func (ex *sparkExec) branchStream(pp *PhysicalPlan, b Branch) (*engine.Dataset[m
 			scope := s
 			d = engine.FlatMap(d, func(t model.Tuple) []model.Tuple { return scope(t) })
 		}
+		// Force the derived stream: it feeds a downstream pipeline and any
+		// upstream failure should surface here with the branch's label.
 		if err := d.Err(); err != nil {
 			return nil, fmt.Errorf("core: derived stream %s failed: %w", b.Label, err)
 		}
@@ -122,6 +127,10 @@ func (ex *sparkExec) branchStream(pp *PhysicalPlan, b Branch) (*engine.Dataset[m
 		scope := s
 		d = engine.FlatMap(d, func(t model.Tuple) []model.Tuple { return scope(t) })
 	}
+	// Err is an action: the whole scope chain runs here as one fused stage
+	// and the materialized stream is cached, so every pipeline sharing this
+	// consolidated scan (Algorithm 1) reuses the computed data instead of
+	// re-running the scopes.
 	if err := d.Err(); err != nil {
 		return nil, fmt.Errorf("core: Scope failed: %w", err)
 	}
@@ -190,9 +199,10 @@ func (ex *sparkExec) runPipeline(pp *PhysicalPlan, p *PhysicalPipeline, out *Det
 	}
 	detect := p.Detect
 	violations := engine.FlatMap(items, func(it Item) []model.Violation { return detect(it) })
-	if err := violations.Err(); err != nil {
-		return fmt.Errorf("core: Detect failed in %s: %w", p.RuleID, err)
-	}
+	// No action here: Detect stays lazy so the enumeration, detection and
+	// (below) fix generation fuse into a single per-partition stage. A
+	// failure anywhere in the chain surfaces at the pipeline's collect.
+	//
 	// Dedup violations (BigDansing emits each violation once). OCJoin,
 	// unique pairs and single-unit enumeration produce each candidate once
 	// by construction, so only the both-orientation enumerations pay the
@@ -208,7 +218,7 @@ func (ex *sparkExec) runPipeline(pp *PhysicalPlan, p *PhysicalPipeline, out *Det
 		})
 		sets, err := fixSets.Collect()
 		if err != nil {
-			return fmt.Errorf("core: GenFix failed in %s: %w", p.RuleID, err)
+			return fmt.Errorf("core: detection pipeline %s failed: %w", p.RuleID, err)
 		}
 		for _, fs := range sets {
 			out.Violations = append(out.Violations, fs.Violation)
@@ -218,7 +228,7 @@ func (ex *sparkExec) runPipeline(pp *PhysicalPlan, p *PhysicalPipeline, out *Det
 	}
 	vs, err := violations.Collect()
 	if err != nil {
-		return err
+		return fmt.Errorf("core: detection pipeline %s failed: %w", p.RuleID, err)
 	}
 	for _, v := range vs {
 		out.Violations = append(out.Violations, v)

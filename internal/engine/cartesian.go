@@ -8,17 +8,16 @@ type PairOf[T any] struct {
 
 // Cartesian computes the full cross product of two datasets: every (a, b).
 // The right side is collected and broadcast to every left partition, the
-// strategy Spark uses when one side is small.
+// strategy Spark uses when one side is small. Collecting the right side is
+// a stage boundary; the pair expansion over the left side is lazy and fuses
+// with the left side's pending chain and downstream narrow ops.
 func Cartesian[A, B any](da *Dataset[A], db *Dataset[B]) *Dataset[JoinRow[A, B]] {
 	ctx := da.ctx
-	if da.err != nil {
-		return errDataset[JoinRow[A, B]](ctx, da.err)
+	right, err := db.Collect()
+	if err != nil {
+		return errDataset[JoinRow[A, B]](ctx, err)
 	}
-	if db.err != nil {
-		return errDataset[JoinRow[A, B]](ctx, db.err)
-	}
-	right, _ := db.Collect()
-	ctx.stats.recordsShuffled.Add(int64(len(right)) * int64(len(da.parts)))
+	ctx.stats.recordsShuffled.Add(int64(len(right)) * int64(da.NumPartitions()))
 	return FlatMap(da, func(a A) []JoinRow[A, B] {
 		out := make([]JoinRow[A, B], len(right))
 		for i, b := range right {
@@ -32,11 +31,12 @@ func Cartesian[A, B any](da *Dataset[A], db *Dataset[B]) *Dataset[JoinRow[A, B]]
 // dataset: n*(n-1) pairs. It is the naive CrossProduct physical operator the
 // evaluation's Figure 11(c) ablates against.
 func SelfCartesian[T any](d *Dataset[T]) *Dataset[PairOf[T]] {
-	if d.err != nil {
-		return errDataset[PairOf[T]](d.ctx, d.err)
+	all, err := d.Collect()
+	if err != nil {
+		return errDataset[PairOf[T]](d.ctx, err)
 	}
-	all, _ := d.Collect()
-	d.ctx.stats.recordsShuffled.Add(int64(len(all)) * int64(len(d.parts)))
+	nParts := d.NumPartitions()
+	d.ctx.stats.recordsShuffled.Add(int64(len(all)) * int64(nParts))
 	// Index the elements so each partition can skip self-pairs globally.
 	type indexed struct {
 		pos int
@@ -46,7 +46,7 @@ func SelfCartesian[T any](d *Dataset[T]) *Dataset[PairOf[T]] {
 	for i, v := range all {
 		idx[i] = indexed{pos: i, v: v}
 	}
-	di := Parallelize(d.ctx, idx, len(d.parts))
+	di := Parallelize(d.ctx, idx, nParts)
 	return FlatMap(di, func(a indexed) []PairOf[T] {
 		out := make([]PairOf[T], 0, len(all)-1)
 		for j, b := range all {
@@ -63,11 +63,12 @@ func SelfCartesian[T any](d *Dataset[T]) *Dataset[PairOf[T]] {
 // with i < j: n*(n-1)/2 pairs. This is the selfCartesian() extension the
 // paper added to Spark to implement UCrossProduct (Appendix G.1).
 func SelfCartesianUnique[T any](d *Dataset[T]) *Dataset[PairOf[T]] {
-	if d.err != nil {
-		return errDataset[PairOf[T]](d.ctx, d.err)
+	all, err := d.Collect()
+	if err != nil {
+		return errDataset[PairOf[T]](d.ctx, err)
 	}
-	all, _ := d.Collect()
-	d.ctx.stats.recordsShuffled.Add(int64(len(all)) * int64(len(d.parts)))
+	nParts := d.NumPartitions()
+	d.ctx.stats.recordsShuffled.Add(int64(len(all)) * int64(nParts))
 	type indexed struct {
 		pos int
 		v   T
@@ -76,7 +77,7 @@ func SelfCartesianUnique[T any](d *Dataset[T]) *Dataset[PairOf[T]] {
 	for i, v := range all {
 		idx[i] = indexed{pos: i, v: v}
 	}
-	di := Parallelize(d.ctx, idx, len(d.parts))
+	di := Parallelize(d.ctx, idx, nParts)
 	return FlatMap(di, func(a indexed) []PairOf[T] {
 		if a.pos+1 >= len(all) {
 			return nil
@@ -91,7 +92,8 @@ func SelfCartesianUnique[T any](d *Dataset[T]) *Dataset[PairOf[T]] {
 
 // BlockPairsUnique enumerates the unique unordered pairs inside each group
 // of a grouped dataset — UCrossProduct applied blockwise, which is exactly
-// the Iterate of Figure 2 (four pairs instead of thirteen).
+// the Iterate of Figure 2 (four pairs instead of thirteen). Lazy: the pair
+// expansion fuses with downstream narrow transformations.
 func BlockPairsUnique[K comparable, T any](d *Dataset[Pair[K, []T]]) *Dataset[PairOf[T]] {
 	return FlatMap(d, func(g Pair[K, []T]) []PairOf[T] {
 		us := g.Value

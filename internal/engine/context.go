@@ -6,12 +6,31 @@
 //
 // A Context models a cluster: its parallelism is the number of workers
 // ("nodes" in the paper's multi-node experiments), and its Stats expose the
-// task and shuffle volumes the paper's optimizations aim to reduce.
+// stage, task and shuffle volumes the paper's optimizations aim to reduce.
 //
-// Transformations are eager: each one runs a parallel stage and materializes
-// its result. Errors — including panics inside user functions — stick to the
-// dataset and propagate through downstream transformations until an action
-// (Collect, Count) reports them, in the spirit of Spark job failure.
+// # Lazy execution and narrow-stage fusion
+//
+// Narrow transformations (Map, FlatMap, Filter, MapPartitions) are lazy:
+// they record a plan node and return immediately. Execution happens at an
+// action — Collect, Count, Reduce, Err — or at a wide transformation
+// (GroupByKey, ReduceByKey, CoGroup, Join, SortBy, RangePartitionBy,
+// Cartesian, Repartition), which is a stage boundary. When a plan runs, the
+// whole chain of narrow transformations between two stage boundaries fuses
+// into a single per-partition pass: elements are pushed through the
+// composed operator closures one at a time, so no intermediate partition
+// slices are materialized and Stats counts the chain as exactly one stage.
+//
+// A dataset that has been executed caches its partitions; building further
+// transformations on top of it reads the cached data. Building on top of a
+// dataset that has NOT been executed re-runs its (pure) operator chain for
+// each downstream action, like an uncached Spark RDD — force a dataset
+// (e.g. with Err) before fanning out if its chain is expensive.
+//
+// Errors — including panics inside user functions — stick to the dataset
+// and propagate through downstream transformations until an action reports
+// them, in the spirit of Spark job failure. A panic inside a fused stage is
+// attributed to the operator that raised it (e.g. "Filter#2", the second
+// operator of its chain).
 package engine
 
 import (
@@ -19,18 +38,93 @@ import (
 	"hash/fnv"
 	"math"
 	"runtime"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
-// Stats accumulates execution counters for one Context. All fields are
-// updated atomically; read them with the accessor methods.
+// Stats accumulates execution counters for one Context: cheap atomic
+// totals plus a per-stage log. Read a consistent view with Snapshot, or the
+// individual totals with the accessor methods.
 type Stats struct {
 	tasks           atomic.Int64
 	stages          atomic.Int64
 	recordsShuffled atomic.Int64
 	recordsRead     atomic.Int64
+
+	mu       sync.Mutex
+	perStage []StageStat
+}
+
+// StageStat describes the executions of one named stage: how many times it
+// ran, the partition tasks it executed, the records it moved across
+// partitions, and its cumulative wall time.
+type StageStat struct {
+	Name            string
+	Runs            int
+	Tasks           int64
+	RecordsShuffled int64
+	Wall            time.Duration
+}
+
+// Snapshot is a consistent copy of a Context's statistics, with the
+// per-stage log aggregated by stage name (in first-execution order).
+type Snapshot struct {
+	Stages          int64
+	Tasks           int64
+	RecordsRead     int64
+	RecordsShuffled int64
+	PerStage        []StageStat
+}
+
+// Snapshot returns the current counters and the per-stage breakdown in one
+// struct, so callers no longer stitch the four atomic accessors together.
+func (s *Stats) Snapshot() Snapshot {
+	snap := Snapshot{
+		Stages:          s.stages.Load(),
+		Tasks:           s.tasks.Load(),
+		RecordsRead:     s.recordsRead.Load(),
+		RecordsShuffled: s.recordsShuffled.Load(),
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := make(map[string]int, len(s.perStage))
+	for _, st := range s.perStage {
+		i, ok := idx[st.Name]
+		if !ok {
+			idx[st.Name] = len(snap.PerStage)
+			snap.PerStage = append(snap.PerStage, st)
+			continue
+		}
+		agg := &snap.PerStage[i]
+		agg.Runs += st.Runs
+		agg.Tasks += st.Tasks
+		agg.RecordsShuffled += st.RecordsShuffled
+		agg.Wall += st.Wall
+	}
+	return snap
+}
+
+// String renders the snapshot as a small table for diagnostics (the
+// `bigdansing --stats` report).
+func (sn Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "stages: %d, tasks: %d, records read: %d, records shuffled: %d\n",
+		sn.Stages, sn.Tasks, sn.RecordsRead, sn.RecordsShuffled)
+	if len(sn.PerStage) == 0 {
+		return b.String()
+	}
+	stages := append([]StageStat(nil), sn.PerStage...)
+	sort.SliceStable(stages, func(i, j int) bool { return stages[i].Wall > stages[j].Wall })
+	fmt.Fprintf(&b, "%-40s %6s %8s %12s %12s\n", "stage", "runs", "tasks", "shuffled", "wall")
+	for _, st := range stages {
+		fmt.Fprintf(&b, "%-40s %6d %8d %12d %12s\n",
+			st.Name, st.Runs, st.Tasks, st.RecordsShuffled, st.Wall.Round(time.Microsecond))
+	}
+	return b.String()
 }
 
 // Tasks returns the number of partition tasks executed.
@@ -46,12 +140,21 @@ func (s *Stats) RecordsShuffled() int64 { return s.recordsShuffled.Load() }
 // RecordsRead returns the number of records ingested by Parallelize.
 func (s *Stats) RecordsRead() int64 { return s.recordsRead.Load() }
 
-// Reset zeroes all counters.
+// Reset zeroes all counters and clears the per-stage log.
 func (s *Stats) Reset() {
 	s.tasks.Store(0)
 	s.stages.Store(0)
 	s.recordsShuffled.Store(0)
 	s.recordsRead.Store(0)
+	s.mu.Lock()
+	s.perStage = nil
+	s.mu.Unlock()
+}
+
+func (s *Stats) record(st StageStat) {
+	s.mu.Lock()
+	s.perStage = append(s.perStage, st)
+	s.mu.Unlock()
 }
 
 // Context is the execution environment for datasets: a fixed-size worker
@@ -76,14 +179,26 @@ func (c *Context) Parallelism() int { return c.parallelism }
 // Stats returns the context's statistics.
 func (c *Context) Stats() *Stats { return &c.stats }
 
-// runParts executes f for every partition index in [0, n) using at most
-// Parallelism workers. A panic inside f is recovered and returned as an
-// error naming the partition, so one bad record fails the stage rather than
-// the process.
-func (c *Context) runParts(n int, f func(part int)) error {
+// taskCtx is the per-task handle a stage function receives. Fused operators
+// store their name in op before invoking user code, so a panic can be
+// attributed to the operator that raised it; shuffle tasks accumulate the
+// records they moved in shuffled.
+type taskCtx struct {
+	part     int
+	op       string
+	shuffled int64
+}
+
+// runStage executes f for every partition index in [0, n) using at most
+// Parallelism workers, records the stage under name, and returns the first
+// task failure. A panic inside f is recovered and returned as an error
+// naming the partition (and, for fused stages, the originating operator),
+// so one bad record fails the stage rather than the process.
+func (c *Context) runStage(name string, n int, f func(tk *taskCtx)) error {
 	if n == 0 {
 		return nil
 	}
+	start := time.Now()
 	c.stats.stages.Add(1)
 	c.stats.tasks.Add(int64(n))
 	workers := c.parallelism
@@ -91,18 +206,27 @@ func (c *Context) runParts(n int, f func(part int)) error {
 		workers = n
 	}
 	var (
-		next    atomic.Int64
-		wg      sync.WaitGroup
-		mu      sync.Mutex
-		firstEr error
+		next     atomic.Int64
+		shuffled atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstEr  error
 	)
 	run := func(part int) (err error) {
+		tk := &taskCtx{part: part}
 		defer func() {
+			if tk.shuffled != 0 {
+				shuffled.Add(tk.shuffled)
+			}
 			if r := recover(); r != nil {
-				err = fmt.Errorf("engine: task for partition %d panicked: %v", part, r)
+				if tk.op != "" {
+					err = fmt.Errorf("engine: task for partition %d panicked in %s: %v", part, tk.op, r)
+				} else {
+					err = fmt.Errorf("engine: task for partition %d panicked: %v", part, r)
+				}
 			}
 		}()
-		f(part)
+		f(tk)
 		return nil
 	}
 	wg.Add(workers)
@@ -125,6 +249,9 @@ func (c *Context) runParts(n int, f func(part int)) error {
 		}()
 	}
 	wg.Wait()
+	moved := shuffled.Load()
+	c.stats.recordsShuffled.Add(moved)
+	c.stats.record(StageStat{Name: name, Runs: 1, Tasks: int64(n), RecordsShuffled: moved, Wall: time.Since(start)})
 	return firstEr
 }
 

@@ -3,20 +3,58 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"strings"
+	"sync"
 )
 
 // Dataset is a partitioned, immutable collection of T — the analogue of a
-// Spark RDD. Transformations produce new datasets; the error of a failed
-// stage sticks to the result and surfaces at the next action.
+// Spark RDD. Narrow transformations are lazy: they record a plan and return
+// immediately; actions (Collect, Count, Reduce, Err) and wide
+// transformations trigger execution, fusing the pending narrow chain into a
+// single per-partition stage. The error of a failed stage sticks to the
+// result and surfaces at the next action.
 type Dataset[T any] struct {
-	ctx   *Context
-	parts [][]T
-	err   error
+	ctx *Context
+
+	mu    sync.Mutex
+	state dsState
+	parts [][]T          // materialized partitions, valid when state == dsDone
+	err   error          // sticky failure, valid when state == dsFailed
+	plan  *narrowPlan[T] // pending fused chain, valid when state == dsLazy
+}
+
+type dsState uint8
+
+const (
+	dsLazy dsState = iota
+	dsDone
+	dsFailed
+)
+
+// narrowPlan is a fused chain of narrow operators over an upstream stage
+// boundary: feed pushes the elements of one source partition through every
+// recorded operator without materializing intermediate slices. bounded
+// marks chains of non-expanding operators (Map, Filter), whose output per
+// partition is at most the source partition's length — the sink uses it to
+// allocate each output partition once, at its upper bound.
+type narrowPlan[T any] struct {
+	src     forceable
+	feed    func(p int, tk *taskCtx, emit func(T))
+	ops     []string
+	bounded bool
+}
+
+// forceable is the untyped handle a narrow plan keeps to its source
+// dataset: enough to ensure it is materialized and walk its partitions.
+type forceable interface {
+	force() error
+	partsCount() int
+	partLen(p int) int
 }
 
 // Parallelize slices data into n partitions (n <= 0 means the context's
-// parallelism) and wraps it in a Dataset. The input slice is not copied;
-// callers must not mutate it afterwards.
+// parallelism) and wraps it in a materialized Dataset. The input slice is
+// not copied; callers must not mutate it afterwards.
 func Parallelize[T any](ctx *Context, data []T, n int) *Dataset[T] {
 	if n <= 0 {
 		n = ctx.parallelism
@@ -41,7 +79,7 @@ func Parallelize[T any](ctx *Context, data []T, n int) *Dataset[T] {
 		parts[i] = data[lo:hi:hi]
 	}
 	ctx.stats.recordsRead.Add(int64(len(data)))
-	return &Dataset[T]{ctx: ctx, parts: parts}
+	return &Dataset[T]{ctx: ctx, state: dsDone, parts: parts}
 }
 
 // fromParts wraps pre-built partitions.
@@ -49,38 +87,175 @@ func fromParts[T any](ctx *Context, parts [][]T) *Dataset[T] {
 	if len(parts) == 0 {
 		parts = make([][]T, 1)
 	}
-	return &Dataset[T]{ctx: ctx, parts: parts}
+	return &Dataset[T]{ctx: ctx, state: dsDone, parts: parts}
 }
 
 // errDataset propagates a stage failure.
 func errDataset[T any](ctx *Context, err error) *Dataset[T] {
-	return &Dataset[T]{ctx: ctx, parts: make([][]T, 1), err: err}
+	return &Dataset[T]{ctx: ctx, state: dsFailed, parts: make([][]T, 1), err: err}
+}
+
+// force executes the pending plan, if any, and caches the result (or the
+// failure). It is safe for concurrent use and idempotent.
+func (d *Dataset[T]) force() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch d.state {
+	case dsDone:
+		return nil
+	case dsFailed:
+		return d.err
+	}
+	plan := d.plan
+	if err := plan.src.force(); err != nil {
+		d.fail(err)
+		return err
+	}
+	n := plan.src.partsCount()
+	parts := make([][]T, n)
+	err := d.ctx.runStage(fusedStageName(plan.ops), n, func(tk *taskCtx) {
+		var out []T
+		if plan.bounded {
+			out = make([]T, 0, plan.src.partLen(tk.part))
+		}
+		plan.feed(tk.part, tk, func(t T) { out = append(out, t) })
+		parts[tk.part] = out
+	})
+	if err != nil {
+		d.fail(err)
+		return err
+	}
+	d.state = dsDone
+	d.parts = parts
+	d.plan = nil
+	return nil
+}
+
+// fail transitions to the failed state (caller holds d.mu).
+func (d *Dataset[T]) fail(err error) {
+	d.state = dsFailed
+	d.err = err
+	d.parts = make([][]T, 1)
+	d.plan = nil
+}
+
+// forced materializes the dataset and returns its partitions.
+func (d *Dataset[T]) forced() ([][]T, error) {
+	if err := d.force(); err != nil {
+		return nil, err
+	}
+	return d.parts, nil
+}
+
+// partsCount implements forceable; only valid after force.
+func (d *Dataset[T]) partsCount() int { return len(d.parts) }
+
+// partLen implements forceable; only valid after force.
+func (d *Dataset[T]) partLen(p int) int { return len(d.parts[p]) }
+
+// fusedStageName labels the stage of a fused chain, e.g. "Map·Filter".
+func fusedStageName(ops []string) string {
+	if len(ops) == 0 {
+		return "identity"
+	}
+	return strings.Join(ops, "·")
+}
+
+// narrowSrc is the composition base a new narrow operator builds on: the
+// upstream stage boundary plus the already-fused feed to extend. For a
+// materialized dataset, parts holds its partitions so whole-partition
+// operators (MapPartitions) can read them without copying.
+type narrowSrc[T any] struct {
+	src     forceable
+	feed    func(p int, tk *taskCtx, emit func(T))
+	ops     []string
+	bounded bool
+	parts   [][]T // non-nil iff the dataset is already materialized
+	err     error // non-nil iff the dataset already failed
+}
+
+// narrowBase inspects d and returns the composition base for a new narrow
+// operator: the pending fused chain if d is lazy, or a partition walker
+// over the cached data if d is materialized.
+func narrowBase[T any](d *Dataset[T]) narrowSrc[T] {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch d.state {
+	case dsFailed:
+		return narrowSrc[T]{err: d.err}
+	case dsDone:
+		parts := d.parts
+		return narrowSrc[T]{
+			src: d,
+			feed: func(p int, _ *taskCtx, emit func(T)) {
+				for _, v := range parts[p] {
+					emit(v)
+				}
+			},
+			bounded: true,
+			parts:   parts,
+		}
+	default:
+		return narrowSrc[T]{src: d.plan.src, feed: d.plan.feed, ops: d.plan.ops, bounded: d.plan.bounded}
+	}
+}
+
+// lazyFrom wraps a composed feed as a new lazy dataset.
+func lazyFrom[T any](ctx *Context, base forceable, ops []string, bounded bool, feed func(p int, tk *taskCtx, emit func(T))) *Dataset[T] {
+	return &Dataset[T]{ctx: ctx, state: dsLazy, plan: &narrowPlan[T]{src: base, feed: feed, ops: ops, bounded: bounded}}
+}
+
+// opLabel names one operator instance inside a fused chain for panic
+// attribution: kind plus its 1-based position, e.g. "Filter#2".
+func opLabel(kind string, ops []string) string {
+	return fmt.Sprintf("%s#%d", kind, len(ops)+1)
+}
+
+// appendOp clones-and-appends so sibling chains sharing a prefix do not
+// alias the ops slice.
+func appendOp(ops []string, kind string) []string {
+	out := make([]string, 0, len(ops)+1)
+	out = append(out, ops...)
+	return append(out, kind)
 }
 
 // Context returns the dataset's execution context.
 func (d *Dataset[T]) Context() *Context { return d.ctx }
 
-// Err returns the sticky error, if any stage failed.
-func (d *Dataset[T]) Err() error { return d.err }
+// Err is an action: it forces execution of any pending transformations and
+// returns the sticky error, if any stage failed. Use it to materialize a
+// dataset that will be consumed more than once.
+func (d *Dataset[T]) Err() error { return d.force() }
 
-// NumPartitions returns the partition count.
-func (d *Dataset[T]) NumPartitions() int { return len(d.parts) }
+// NumPartitions forces execution and returns the partition count. A failed
+// dataset reports one (empty) placeholder partition.
+func (d *Dataset[T]) NumPartitions() int {
+	d.force()
+	return len(d.parts)
+}
 
-// Partition returns the contents of one partition. Callers must not mutate
-// the returned slice.
-func (d *Dataset[T]) Partition(i int) []T { return d.parts[i] }
+// Partition forces execution and returns the contents of one partition.
+// Callers must not mutate the returned slice. On a failed dataset only the
+// empty placeholder partition 0 exists.
+func (d *Dataset[T]) Partition(i int) []T {
+	d.force()
+	return d.parts[i]
+}
 
-// Collect gathers all elements into one slice, in partition order.
+// Collect is an action: it executes the pending plan — the whole narrow
+// chain as one fused stage — and gathers all elements into one slice, in
+// partition order.
 func (d *Dataset[T]) Collect() ([]T, error) {
-	if d.err != nil {
-		return nil, d.err
+	parts, err := d.forced()
+	if err != nil {
+		return nil, err
 	}
 	total := 0
-	for _, p := range d.parts {
+	for _, p := range parts {
 		total += len(p)
 	}
 	out := make([]T, 0, total)
-	for _, p := range d.parts {
+	for _, p := range parts {
 		out = append(out, p...)
 	}
 	return out, nil
@@ -96,96 +271,130 @@ func (d *Dataset[T]) MustCollect() []T {
 	return out
 }
 
-// Count returns the number of elements.
+// Count is an action: it returns the number of elements. On a dataset with
+// a pending narrow chain it streams the fused pass through a counter
+// without materializing (or caching) the elements; on a materialized
+// dataset it sums the cached partition lengths.
 func (d *Dataset[T]) Count() (int, error) {
-	if d.err != nil {
-		return 0, d.err
+	base := narrowBase(d)
+	if base.err != nil {
+		return 0, base.err
 	}
-	n := 0
-	for _, p := range d.parts {
-		n += len(p)
+	if base.parts != nil {
+		n := 0
+		for _, p := range base.parts {
+			n += len(p)
+		}
+		return n, nil
 	}
-	return n, nil
+	if err := base.src.force(); err != nil {
+		return 0, err
+	}
+	nParts := base.src.partsCount()
+	counts := make([]int64, nParts)
+	feed := base.feed
+	err := d.ctx.runStage(fusedStageName(appendOp(base.ops, "Count")), nParts, func(tk *taskCtx) {
+		n := int64(0)
+		feed(tk.part, tk, func(T) { n++ })
+		counts[tk.part] = n
+	})
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, n := range counts {
+		total += int(n)
+	}
+	return total, nil
 }
 
-// Map applies f to every element in parallel.
+// Map records the element-wise application of f; it fuses with adjacent
+// narrow transformations when an action runs.
 func Map[T, U any](d *Dataset[T], f func(T) U) *Dataset[U] {
-	if d.err != nil {
-		return errDataset[U](d.ctx, d.err)
+	base := narrowBase(d)
+	if base.err != nil {
+		return errDataset[U](d.ctx, base.err)
 	}
-	out := make([][]U, len(d.parts))
-	err := d.ctx.runParts(len(d.parts), func(p int) {
-		in := d.parts[p]
-		res := make([]U, len(in))
-		for i, v := range in {
-			res[i] = f(v)
-		}
-		out[p] = res
+	op := opLabel("Map", base.ops)
+	feed := base.feed
+	return lazyFrom(d.ctx, base.src, appendOp(base.ops, "Map"), base.bounded, func(p int, tk *taskCtx, emit func(U)) {
+		feed(p, tk, func(t T) {
+			tk.op = op
+			emit(f(t))
+		})
 	})
-	if err != nil {
-		return errDataset[U](d.ctx, err)
-	}
-	return fromParts(d.ctx, out)
 }
 
-// FlatMap applies f to every element and concatenates the results.
+// FlatMap records the application of f with concatenation of the results;
+// lazy and fusable like Map.
 func FlatMap[T, U any](d *Dataset[T], f func(T) []U) *Dataset[U] {
-	if d.err != nil {
-		return errDataset[U](d.ctx, d.err)
+	base := narrowBase(d)
+	if base.err != nil {
+		return errDataset[U](d.ctx, base.err)
 	}
-	out := make([][]U, len(d.parts))
-	err := d.ctx.runParts(len(d.parts), func(p int) {
-		var res []U
-		for _, v := range d.parts[p] {
-			res = append(res, f(v)...)
-		}
-		out[p] = res
+	op := opLabel("FlatMap", base.ops)
+	feed := base.feed
+	return lazyFrom(d.ctx, base.src, appendOp(base.ops, "FlatMap"), false, func(p int, tk *taskCtx, emit func(U)) {
+		feed(p, tk, func(t T) {
+			tk.op = op
+			us := f(t)
+			for _, u := range us {
+				emit(u)
+			}
+		})
 	})
-	if err != nil {
-		return errDataset[U](d.ctx, err)
-	}
-	return fromParts(d.ctx, out)
 }
 
-// MapPartitions applies f to whole partitions, the hook wrappers use to
-// amortize per-call overhead (the paper's physical operators receive sets of
-// units, not single units).
-func MapPartitions[T, U any](d *Dataset[T], f func(part int, in []T) []U) *Dataset[U] {
-	if d.err != nil {
-		return errDataset[U](d.ctx, d.err)
-	}
-	out := make([][]U, len(d.parts))
-	err := d.ctx.runParts(len(d.parts), func(p int) {
-		out[p] = f(p, d.parts[p])
-	})
-	if err != nil {
-		return errDataset[U](d.ctx, err)
-	}
-	return fromParts(d.ctx, out)
-}
-
-// Filter keeps the elements for which pred is true.
+// Filter records the predicate; lazy and fusable like Map.
 func Filter[T any](d *Dataset[T], pred func(T) bool) *Dataset[T] {
-	if d.err != nil {
+	base := narrowBase(d)
+	if base.err != nil {
 		return d
 	}
-	out := make([][]T, len(d.parts))
-	err := d.ctx.runParts(len(d.parts), func(p int) {
-		var res []T
-		for _, v := range d.parts[p] {
-			if pred(v) {
-				res = append(res, v)
+	op := opLabel("Filter", base.ops)
+	feed := base.feed
+	return lazyFrom(d.ctx, base.src, appendOp(base.ops, "Filter"), base.bounded, func(p int, tk *taskCtx, emit func(T)) {
+		feed(p, tk, func(t T) {
+			tk.op = op
+			if pred(t) {
+				emit(t)
 			}
-		}
-		out[p] = res
+		})
 	})
-	if err != nil {
-		return errDataset[T](d.ctx, err)
+}
+
+// MapPartitions records the whole-partition application of f, the hook
+// wrappers use to amortize per-call overhead (the paper's physical
+// operators receive sets of units, not single units). It fuses into the
+// surrounding narrow chain, but because f needs its input partition as one
+// slice, a pending upstream chain buffers its output here (a materialized
+// upstream is passed through without copying).
+func MapPartitions[T, U any](d *Dataset[T], f func(part int, in []T) []U) *Dataset[U] {
+	base := narrowBase(d)
+	if base.err != nil {
+		return errDataset[U](d.ctx, base.err)
 	}
-	return fromParts(d.ctx, out)
+	op := opLabel("MapPartitions", base.ops)
+	feed := base.feed
+	parts := base.parts
+	return lazyFrom(d.ctx, base.src, appendOp(base.ops, "MapPartitions"), false, func(p int, tk *taskCtx, emit func(U)) {
+		var in []T
+		if parts != nil {
+			in = parts[p]
+		} else {
+			feed(p, tk, func(t T) { in = append(in, t) })
+		}
+		tk.op = op
+		out := f(p, in)
+		for _, u := range out {
+			emit(u)
+		}
+	})
 }
 
 // Union concatenates datasets of the same element type under one context.
+// It is a stage boundary: each input is forced and the materialized
+// partitions are concatenated (element slices are shared, not copied).
 func Union[T any](ds ...*Dataset[T]) *Dataset[T] {
 	if len(ds) == 0 {
 		return nil
@@ -193,70 +402,102 @@ func Union[T any](ds ...*Dataset[T]) *Dataset[T] {
 	ctx := ds[0].ctx
 	var parts [][]T
 	for _, d := range ds {
-		if d.err != nil {
-			return errDataset[T](ctx, d.err)
+		dp, err := d.forced()
+		if err != nil {
+			return errDataset[T](ctx, err)
 		}
-		parts = append(parts, d.parts...)
+		parts = append(parts, dp...)
 	}
 	return fromParts(ctx, parts)
 }
 
 // Repartition redistributes elements round-robin into n partitions, moving
-// every record (a full shuffle).
+// every record (a full shuffle). It is a stage boundary.
 func Repartition[T any](d *Dataset[T], n int) *Dataset[T] {
-	if d.err != nil {
-		return d
-	}
 	if n <= 0 {
 		n = d.ctx.parallelism
 	}
-	all, _ := d.Collect()
+	all, err := d.Collect()
+	if err != nil {
+		return d
+	}
 	d.ctx.stats.recordsShuffled.Add(int64(len(all)))
-	return Parallelize(d.ctx, all, n)
+	if n > len(all) && len(all) > 0 {
+		n = len(all)
+	}
+	if len(all) == 0 {
+		n = 1
+	}
+	parts := make([][]T, n)
+	chunk := (len(all) + n - 1) / n
+	for i := 0; i < n; i++ {
+		lo := min(i*chunk, len(all))
+		hi := min(lo+chunk, len(all))
+		parts[i] = all[lo:hi:hi]
+	}
+	return fromParts(d.ctx, parts)
 }
 
-// Reduce folds all elements with a binary, associative function. It returns
-// an error on an empty dataset.
+// Reduce is an action: it folds all elements with a binary, associative
+// function, consuming any pending narrow chain in the same fused stage
+// (per-partition partial folds, then a final fold of the partials). It
+// returns an error on an empty dataset.
 func Reduce[T any](d *Dataset[T], f func(a, b T) T) (T, error) {
 	var zero T
-	if d.err != nil {
-		return zero, d.err
+	base := narrowBase(d)
+	if base.err != nil {
+		return zero, base.err
 	}
-	partial := make([]T, 0, len(d.parts))
-	var hasAny []bool = make([]bool, len(d.parts))
-	partials := make([]T, len(d.parts))
-	err := d.ctx.runParts(len(d.parts), func(p int) {
-		in := d.parts[p]
-		if len(in) == 0 {
-			return
-		}
-		acc := in[0]
-		for _, v := range in[1:] {
-			acc = f(acc, v)
-		}
-		partials[p] = acc
-		hasAny[p] = true
+	if err := base.src.force(); err != nil {
+		return zero, err
+	}
+	n := base.src.partsCount()
+	partials := make([]T, n)
+	hasAny := make([]bool, n)
+	feed := base.feed
+	err := d.ctx.runStage(fusedStageName(appendOp(base.ops, "Reduce")), n, func(tk *taskCtx) {
+		var acc T
+		ok := false
+		feed(tk.part, tk, func(t T) {
+			if !ok {
+				acc, ok = t, true
+				return
+			}
+			tk.op = "Reduce"
+			acc = f(acc, t)
+		})
+		partials[tk.part], hasAny[tk.part] = acc, ok
 	})
 	if err != nil {
 		return zero, err
 	}
+	var acc T
+	any := false
 	for p, ok := range hasAny {
-		if ok {
-			partial = append(partial, partials[p])
+		if !ok {
+			continue
 		}
+		if !any {
+			acc, any = partials[p], true
+			continue
+		}
+		acc = f(acc, partials[p])
 	}
-	if len(partial) == 0 {
+	if !any {
 		return zero, errors.New("engine: reduce of empty dataset")
-	}
-	acc := partial[0]
-	for _, v := range partial[1:] {
-		acc = f(acc, v)
 	}
 	return acc, nil
 }
 
-// String describes the dataset shape for diagnostics.
+// String describes the dataset shape for diagnostics. It forces execution.
 func (d *Dataset[T]) String() string {
-	n, _ := d.Count()
-	return fmt.Sprintf("dataset(%d elems, %s parts)", n, itoa(len(d.parts)))
+	parts, err := d.forced()
+	if err != nil {
+		return fmt.Sprintf("dataset(failed: %v)", err)
+	}
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	return fmt.Sprintf("dataset(%d elems, %s parts)", n, itoa(len(parts)))
 }

@@ -16,32 +16,58 @@ func KeyBy[T any, K comparable](d *Dataset[T], key func(T) K) *Dataset[Pair[K, T
 
 // shuffleByKey hash-partitions pairs into n buckets by key. This is the wide
 // dependency every group/join transformation shares: each input partition
-// scatters its records, then the buckets are concatenated per target.
+// scatters its records, then the buckets are concatenated per target. It
+// forces the input (running any pending narrow chain as one fused stage).
+// Scatter computes each record's destination once into an index array and
+// sizes every per-destination bucket exactly before filling it; gather
+// preallocates each output bucket to its exact total — the shuffle path
+// performs no growing appends.
 func shuffleByKey[K comparable, V any](d *Dataset[Pair[K, V]], n int) ([][]Pair[K, V], error) {
 	if n <= 0 {
 		n = d.ctx.parallelism
 	}
+	parts, err := d.forced()
+	if err != nil {
+		return nil, err
+	}
 	// scatter[src][dst] collects records from source partition src bound for
 	// destination dst; writing per-source keeps the stage lock-free.
-	scatter := make([][][]Pair[K, V], len(d.parts))
-	err := d.ctx.runParts(len(d.parts), func(p int) {
-		local := make([][]Pair[K, V], n)
-		for _, kv := range d.parts[p] {
-			dst := int(hashAny(kv.Key) % uint64(n))
-			local[dst] = append(local[dst], kv)
+	scatter := make([][][]Pair[K, V], len(parts))
+	err = d.ctx.runStage("shuffle:scatter", len(parts), func(tk *taskCtx) {
+		in := parts[tk.part]
+		dsts := make([]uint32, len(in))
+		counts := make([]int, n)
+		for i, kv := range in {
+			dst := uint32(hashAny(kv.Key) % uint64(n))
+			dsts[i] = dst
+			counts[dst]++
 		}
-		scatter[p] = local
+		local := make([][]Pair[K, V], n)
+		for dst, c := range counts {
+			if c > 0 {
+				local[dst] = make([]Pair[K, V], 0, c)
+			}
+		}
+		for i, kv := range in {
+			local[dsts[i]] = append(local[dsts[i]], kv)
+		}
+		scatter[tk.part] = local
 	})
 	if err != nil {
 		return nil, err
 	}
 	out := make([][]Pair[K, V], n)
-	gerr := d.ctx.runParts(n, func(dst int) {
-		var bucket []Pair[K, V]
+	gerr := d.ctx.runStage("shuffle:gather", n, func(tk *taskCtx) {
+		dst := tk.part
+		total := 0
+		for src := range scatter {
+			total += len(scatter[src][dst])
+		}
+		bucket := make([]Pair[K, V], 0, total)
 		for src := range scatter {
 			bucket = append(bucket, scatter[src][dst]...)
 		}
-		d.ctx.stats.recordsShuffled.Add(int64(len(bucket)))
+		tk.shuffled += int64(total)
 		out[dst] = bucket
 	})
 	if gerr != nil {
@@ -51,17 +77,17 @@ func shuffleByKey[K comparable, V any](d *Dataset[Pair[K, V]], n int) ([][]Pair[
 }
 
 // GroupByKey shuffles pairs and groups the values of each key, like Spark's
-// groupByKey. The result has one Pair per distinct key.
+// groupByKey. The result has one Pair per distinct key. It is a stage
+// boundary: the input's pending narrow chain runs (fused) before the
+// shuffle, and the grouped result is materialized.
 func GroupByKey[K comparable, V any](d *Dataset[Pair[K, V]]) *Dataset[Pair[K, []V]] {
-	if d.err != nil {
-		return errDataset[Pair[K, []V]](d.ctx, d.err)
-	}
 	buckets, err := shuffleByKey(d, d.ctx.parallelism)
 	if err != nil {
 		return errDataset[Pair[K, []V]](d.ctx, err)
 	}
 	out := make([][]Pair[K, []V], len(buckets))
-	gerr := d.ctx.runParts(len(buckets), func(p int) {
+	gerr := d.ctx.runStage("groupByKey", len(buckets), func(tk *taskCtx) {
+		p := tk.part
 		groups := make(map[K][]V)
 		var order []K
 		for _, kv := range buckets[p] {
@@ -84,12 +110,10 @@ func GroupByKey[K comparable, V any](d *Dataset[Pair[K, V]]) *Dataset[Pair[K, []
 
 // ReduceByKey combines values per key with a map-side combine before the
 // shuffle, the optimization the distributed equivalence-class algorithm's
-// word-count structure relies on (Section 5.2).
+// word-count structure relies on (Section 5.2). The combine fuses into the
+// input's pending narrow chain.
 func ReduceByKey[K comparable, V any](d *Dataset[Pair[K, V]], combine func(a, b V) V) *Dataset[Pair[K, V]] {
-	if d.err != nil {
-		return d
-	}
-	// Map-side combine.
+	// Map-side combine (narrow, fuses with whatever precedes it).
 	pre := MapPartitions(d, func(_ int, in []Pair[K, V]) []Pair[K, V] {
 		acc := make(map[K]V)
 		var order []K
@@ -107,9 +131,6 @@ func ReduceByKey[K comparable, V any](d *Dataset[Pair[K, V]], combine func(a, b 
 		}
 		return res
 	})
-	if pre.err != nil {
-		return pre
-	}
 	grouped := GroupByKey(pre)
 	return Map(grouped, func(g Pair[K, []V]) Pair[K, V] {
 		acc := g.Value[0]
@@ -122,15 +143,9 @@ func ReduceByKey[K comparable, V any](d *Dataset[Pair[K, V]], combine func(a, b 
 
 // CoGroup shuffles two pair datasets together and, per key, collects the
 // values from each side into bags — Pig's COGROUP, the model for the
-// paper's CoBlock enhancer.
+// paper's CoBlock enhancer. It is a stage boundary for both inputs.
 func CoGroup[K comparable, A, B any](da *Dataset[Pair[K, A]], db *Dataset[Pair[K, B]]) *Dataset[Pair[K, CoGrouped[A, B]]] {
 	ctx := da.ctx
-	if da.err != nil {
-		return errDataset[Pair[K, CoGrouped[A, B]]](ctx, da.err)
-	}
-	if db.err != nil {
-		return errDataset[Pair[K, CoGrouped[A, B]]](ctx, db.err)
-	}
 	n := ctx.parallelism
 	ba, err := shuffleByKey(da, n)
 	if err != nil {
@@ -141,7 +156,8 @@ func CoGroup[K comparable, A, B any](da *Dataset[Pair[K, A]], db *Dataset[Pair[K
 		return errDataset[Pair[K, CoGrouped[A, B]]](ctx, err)
 	}
 	out := make([][]Pair[K, CoGrouped[A, B]], n)
-	gerr := ctx.runParts(n, func(p int) {
+	gerr := ctx.runStage("coGroup", n, func(tk *taskCtx) {
+		p := tk.part
 		groups := make(map[K]*CoGrouped[A, B])
 		var order []K
 		for _, kv := range ba[p] {
@@ -180,7 +196,9 @@ type CoGrouped[A, B any] struct {
 	Right []B
 }
 
-// Join computes the inner equi-join of two pair datasets.
+// Join computes the inner equi-join of two pair datasets. The pair
+// expansion after the co-group is lazy and fuses with downstream narrow
+// transformations.
 func Join[K comparable, A, B any](da *Dataset[Pair[K, A]], db *Dataset[Pair[K, B]]) *Dataset[Pair[K, JoinRow[A, B]]] {
 	cg := CoGroup(da, db)
 	return FlatMap(cg, func(g Pair[K, CoGrouped[A, B]]) []Pair[K, JoinRow[A, B]] {

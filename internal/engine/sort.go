@@ -8,18 +8,13 @@ import (
 // sampled boundaries, then each partition is sorted locally — the same
 // sample-sort structure as Spark's sortByKey. The result's partitions are
 // ordered: every element of partition i precedes every element of
-// partition i+1 under less.
+// partition i+1 under less. The range partitioning is a stage boundary; the
+// local sorts are a narrow stage fused over it.
 func SortBy[T any](d *Dataset[T], less func(a, b T) bool, n int) *Dataset[T] {
-	if d.err != nil {
-		return d
-	}
 	if n <= 0 {
 		n = d.ctx.parallelism
 	}
 	rp := RangePartitionBy(d, less, n)
-	if rp.err != nil {
-		return rp
-	}
 	return MapPartitions(rp, func(_ int, in []T) []T {
 		out := make([]T, len(in))
 		copy(out, in)
@@ -32,16 +27,18 @@ func SortBy[T any](d *Dataset[T], less func(a, b T) bool, n int) *Dataset[T] {
 // elements of partition i precede those of partition i+1 under less, without
 // sorting within partitions. Boundaries are chosen by deterministic sampling
 // (every k-th element), good enough for the balanced partitioning OCJoin's
-// partitioning phase requires.
+// partitioning phase requires. It is a stage boundary: the input is forced
+// (running any pending narrow chain as one fused stage) before sampling.
 func RangePartitionBy[T any](d *Dataset[T], less func(a, b T) bool, n int) *Dataset[T] {
-	if d.err != nil {
-		return d
-	}
 	if n <= 0 {
 		n = d.ctx.parallelism
 	}
+	dparts, err := d.forced()
+	if err != nil {
+		return d
+	}
 	total := 0
-	for _, p := range d.parts {
+	for _, p := range dparts {
 		total += len(p)
 	}
 	if total == 0 {
@@ -60,7 +57,7 @@ func RangePartitionBy[T any](d *Dataset[T], less func(a, b T) bool, n int) *Data
 	}
 	var sample []T
 	i := 0
-	for _, p := range d.parts {
+	for _, p := range dparts {
 		for _, v := range p {
 			if i%step == 0 {
 				sample = append(sample, v)
@@ -93,25 +90,44 @@ func RangePartitionBy[T any](d *Dataset[T], less func(a, b T) bool, n int) *Data
 		return lo
 	}
 
-	scatter := make([][][]T, len(d.parts))
-	err := d.ctx.runParts(len(d.parts), func(p int) {
-		local := make([][]T, n)
-		for _, v := range d.parts[p] {
-			dst := target(v)
-			local[dst] = append(local[dst], v)
+	// Scatter with exact bucket sizing (destination indexes are computed
+	// once, then each bucket is allocated at its final capacity).
+	scatter := make([][][]T, len(dparts))
+	err = d.ctx.runStage("rangePartition:scatter", len(dparts), func(tk *taskCtx) {
+		in := dparts[tk.part]
+		dsts := make([]uint32, len(in))
+		counts := make([]int, n)
+		for i, v := range in {
+			dst := uint32(target(v))
+			dsts[i] = dst
+			counts[dst]++
 		}
-		scatter[p] = local
+		local := make([][]T, n)
+		for dst, c := range counts {
+			if c > 0 {
+				local[dst] = make([]T, 0, c)
+			}
+		}
+		for i, v := range in {
+			local[dsts[i]] = append(local[dsts[i]], v)
+		}
+		scatter[tk.part] = local
 	})
 	if err != nil {
 		return errDataset[T](d.ctx, err)
 	}
 	out := make([][]T, n)
-	gerr := d.ctx.runParts(n, func(dst int) {
-		var bucket []T
+	gerr := d.ctx.runStage("rangePartition:gather", n, func(tk *taskCtx) {
+		dst := tk.part
+		total := 0
+		for src := range scatter {
+			total += len(scatter[src][dst])
+		}
+		bucket := make([]T, 0, total)
 		for src := range scatter {
 			bucket = append(bucket, scatter[src][dst]...)
 		}
-		d.ctx.stats.recordsShuffled.Add(int64(len(bucket)))
+		tk.shuffled += int64(total)
 		out[dst] = bucket
 	})
 	if gerr != nil {

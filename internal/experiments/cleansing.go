@@ -97,12 +97,9 @@ func Fig8a(cfg Config) ([]*Table, error) {
 		}
 		for _, n := range wl.sizes {
 			rel := wl.mk(n)
-			cleaner := &cleanse.Cleaner{
-				Ctx:      engine.New(cfg.Workers),
-				Rules:    []*core.Rule{wl.rule},
-				Algo:     wl.algo,
-				Parallel: true,
-			}
+			cleaner := cleanse.NewCleaner(engine.New(cfg.Workers), []*core.Rule{wl.rule},
+				cleanse.WithAlgorithm(wl.algo),
+				cleanse.WithParallelRepair(repair.Options{}))
 			secs, err := timeIt(func() error {
 				_, err := cleaner.Clean(rel)
 				return err
@@ -139,11 +136,8 @@ func Fig8b(cfg Config) ([]*Table, error) {
 	rows := cfg.rows(20000)
 	for _, rate := range []float64{0.01, 0.05, 0.10, 0.50} {
 		rel := datagen.TaxA(rows, rate, cfg.Seed).Dirty
-		cleaner := &cleanse.Cleaner{
-			Ctx:      engine.New(cfg.Workers),
-			Rules:    []*core.Rule{rule},
-			Parallel: true,
-		}
+		cleaner := cleanse.NewCleaner(engine.New(cfg.Workers), []*core.Rule{rule},
+			cleanse.WithParallelRepair(repair.Options{}))
 		res, err := cleaner.Clean(rel)
 		if err != nil {
 			return nil, err
@@ -169,14 +163,13 @@ func Fig12b(cfg Config) ([]*Table, error) {
 	for _, rate := range []float64{0.01, 0.05, 0.10, 0.50} {
 		rel := datagen.TaxA(rows, rate, cfg.Seed).Dirty
 		for si, parallel := range []bool{true, false} {
-			cleaner := &cleanse.Cleaner{
-				Ctx:      engine.New(cfg.Workers),
-				Rules:    []*core.Rule{rule},
-				Parallel: parallel,
-				RepairOpts: repair.Options{
+			var opts []cleanse.Option
+			if parallel {
+				opts = append(opts, cleanse.WithParallelRepair(repair.Options{
 					Parallelism: cfg.Workers,
-				},
+				}))
 			}
+			cleaner := cleanse.NewCleaner(engine.New(cfg.Workers), []*core.Rule{rule}, opts...)
 			res, err := cleaner.Clean(rel)
 			if err != nil {
 				return nil, err
@@ -247,11 +240,11 @@ func Table4(cfg Config) ([]*Table, error) {
 		}
 		x := float64(ci + 1)
 		for si, parallel := range []bool{true, false} {
-			cleaner := &cleanse.Cleaner{
-				Ctx:      engine.New(cfg.Workers),
-				Rules:    rs,
-				Parallel: parallel,
+			var opts []cleanse.Option
+			if parallel {
+				opts = append(opts, cleanse.WithParallelRepair(repair.Options{}))
 			}
+			cleaner := cleanse.NewCleaner(engine.New(cfg.Workers), rs, opts...)
 			res, err := cleaner.Clean(tr.Dirty)
 			if err != nil {
 				return nil, err
@@ -272,12 +265,11 @@ func Table4(cfg Config) ([]*Table, error) {
 	trB := datagen.TaxB(cfg.rows(500), 0.05, cfg.Seed)
 	rule2 := mustRule(phi2())
 	for si, parallel := range []bool{true, false} {
-		cleaner := &cleanse.Cleaner{
-			Ctx:      engine.New(cfg.Workers),
-			Rules:    []*core.Rule{rule2},
-			Algo:     &repair.Hypergraph{},
-			Parallel: parallel,
+		opts := []cleanse.Option{cleanse.WithAlgorithm(&repair.Hypergraph{})}
+		if parallel {
+			opts = append(opts, cleanse.WithParallelRepair(repair.Options{}))
 		}
+		cleaner := cleanse.NewCleaner(engine.New(cfg.Workers), []*core.Rule{rule2}, opts...)
 		res, err := cleaner.Clean(trB.Dirty)
 		if err != nil {
 			return nil, err

@@ -26,12 +26,11 @@ func ExtIncremental(cfg Config) ([]*Table, error) {
 	for _, rate := range []float64{0.01, 0.10, 0.50} {
 		rel := datagen.TaxA(rows, rate, cfg.Seed).Dirty
 		for si, incremental := range []bool{false, true} {
-			cleaner := &cleanse.Cleaner{
-				Ctx:         engine.New(cfg.Workers),
-				Rules:       []*core.Rule{rule},
-				Parallel:    true,
-				Incremental: incremental,
+			opts := []cleanse.Option{cleanse.WithParallelRepair(repair.Options{})}
+			if incremental {
+				opts = append(opts, cleanse.WithIncremental())
 			}
+			cleaner := cleanse.NewCleaner(engine.New(cfg.Workers), []*core.Rule{rule}, opts...)
 			res, err := cleaner.Clean(rel)
 			if err != nil {
 				return nil, err
