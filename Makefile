@@ -1,10 +1,18 @@
 # Verification targets for the repo. `make check` is what CI should run.
 
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: check vet build test race bench
+.PHONY: check fmt vet build test race bench
 
-check: vet build test race
+check: fmt vet build test race
+
+# gofmt -l prints nonconforming files; any output fails the target.
+fmt:
+	@out="$$($(GOFMT) -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -19,5 +27,5 @@ race:
 	$(GO) test -race ./internal/engine/... ./internal/repair/...
 
 bench:
-	$(GO) test -run xxx -bench 'Table2Datasets|Fig9' -benchtime 1x .
-	$(GO) test -run xxx -bench . -benchtime 5x ./internal/engine/
+	$(GO) test -run xxx -bench 'Table2Datasets|Fig9' -benchtime 1x -benchmem .
+	$(GO) test -run xxx -bench . -benchtime 5x -benchmem ./internal/engine/

@@ -51,7 +51,7 @@ func main() {
 
 	rule := &core.Rule{
 		ID:        "sameAdvisorSameUniv",
-		Block:     func(t model.Tuple) string { return t.Cell(2).Key() }, // group by advisor
+		Block:     func(t model.Tuple) model.Value { return t.Cell(2) }, // group by advisor
 		Symmetric: true,
 		Detect: func(it core.Item) []model.Violation {
 			l, r := it.Left(), it.Right()

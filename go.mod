@@ -1,3 +1,3 @@
 module bigdansing
 
-go 1.22
+go 1.24

@@ -80,9 +80,9 @@ func NadeefDetect(rule *core.Rule, rel *model.Relation) (*Result, error) {
 		return res, nil
 	}
 	if rule.Block != nil {
-		blocks := map[string][]model.Tuple{}
+		blocks := map[model.ValueKey][]model.Tuple{}
 		for _, t := range scoped {
-			k := rule.Block(t)
+			k := rule.Block(t).MapKey()
 			blocks[k] = append(blocks[k], t)
 		}
 		for _, us := range blocks {
@@ -183,13 +183,14 @@ func SQLDetect(ctx *engine.Context, mode SQLMode, rule *core.Rule, rel *model.Re
 	switch {
 	case useHashJoin:
 		// Hash self join on the blocking key.
-		idx := map[string][]model.Tuple{}
+		idx := map[model.ValueKey][]model.Tuple{}
 		for _, t := range build {
-			idx[rule.Block(t)] = append(idx[rule.Block(t)], t)
+			k := rule.Block(t).MapKey()
+			idx[k] = append(idx[k], t)
 		}
 		probeOne := func(t model.Tuple) []model.Violation {
 			var out []model.Violation
-			for _, m := range idx[rule.Block(t)] {
+			for _, m := range idx[rule.Block(t).MapKey()] {
 				if m.ID == t.ID {
 					continue
 				}
@@ -215,15 +216,15 @@ func SQLDetect(ctx *engine.Context, mode SQLMode, rule *core.Rule, rel *model.Re
 		// every rule on Shark). The equality predicate, when present, is
 		// evaluated per pair over precomputed key columns — the
 		// post-selection of a plan without a join, not a repeated UDF call.
-		var buildKeys, probeKeys []string
+		var buildKeys, probeKeys []model.ValueKey
 		if rule.Block != nil {
-			buildKeys = make([]string, len(build))
+			buildKeys = make([]model.ValueKey, len(build))
 			for i, t := range build {
-				buildKeys[i] = rule.Block(t)
+				buildKeys[i] = rule.Block(t).MapKey()
 			}
-			probeKeys = make([]string, len(probe))
+			probeKeys = make([]model.ValueKey, len(probe))
 			for i, t := range probe {
-				probeKeys[i] = rule.Block(t)
+				probeKeys[i] = rule.Block(t).MapKey()
 			}
 		}
 		type indexed struct {
@@ -287,9 +288,9 @@ func DetectOnly(ctx *engine.Context, rule *core.Rule, rel *model.Relation) (*cor
 // proxies emit duplicates; this is what comparing against BigDansing's
 // deduplicated output requires).
 func (r *Result) UniqueViolations() int {
-	seen := map[string]bool{}
+	seen := map[model.ViolationKey]bool{}
 	for _, v := range r.Violations {
-		seen[v.Key()] = true
+		seen[v.MapKey()] = true
 	}
 	return len(seen)
 }

@@ -133,8 +133,8 @@ func (c *Cleaner) Clean(rel *model.Relation) (*Result, error) {
 
 	work := rel.Clone()
 	res := &Result{Clean: work}
-	frozen := map[string]bool{}
-	updates := map[string]int{}
+	frozen := map[model.CellKey]bool{}
+	updates := map[model.CellKey]int{}
 
 	var incDet *core.IncrementalDetector
 	if c.Incremental {
@@ -177,7 +177,7 @@ func (c *Cleaner) Clean(rel *model.Relation) (*Result, error) {
 			for _, f := range fs.Fixes {
 				ok := true
 				for _, cell := range f.Cells() {
-					if frozen[cell.Key()] {
+					if frozen[cell.MapKey()] {
 						ok = false
 						break
 					}
@@ -222,7 +222,7 @@ func (c *Cleaner) Clean(rel *model.Relation) (*Result, error) {
 		changed = changed[:0]
 		seenChanged := map[int64]bool{}
 		for _, a := range assignments {
-			k := a.Key()
+			k := a.CellKey()
 			if !frozen[k] && !seenChanged[a.TupleID] {
 				seenChanged[a.TupleID] = true
 				changed = append(changed, a.TupleID)
@@ -241,7 +241,7 @@ func (c *Cleaner) Clean(rel *model.Relation) (*Result, error) {
 			for _, fs := range actionable {
 				for _, f := range fs.Fixes {
 					for _, cell := range f.Cells() {
-						frozen[cell.Key()] = true
+						frozen[cell.MapKey()] = true
 					}
 				}
 			}

@@ -44,7 +44,7 @@ func TestFreezeStopsOscillation(t *testing.T) {
 	)
 	rule := &core.Rule{
 		ID:        "eq",
-		Block:     func(tp model.Tuple) string { return tp.Cell(0).Key() },
+		Block:     func(tp model.Tuple) model.Value { return tp.Cell(0) },
 		Symmetric: true,
 		Detect: func(it core.Item) []model.Violation {
 			l, r := it.Left(), it.Right()

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"bigdansing/internal/engine"
+	"bigdansing/internal/model"
+)
+
+// Keying-layer micro-benchmarks: the per-record cost of turning tuples into
+// block groups and of deduplicating violations — the constant factors the
+// paper's scalability figures (9 and 11) depend on.
+
+func benchTuples(n int, seed int64) []model.Tuple {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]model.Tuple, n)
+	for i := range out {
+		out[i] = model.NewTuple(int64(i),
+			model.S(fmt.Sprintf("zip%d", r.Intn(n/20+1))),
+			model.I(int64(r.Intn(1000))),
+			model.F(float64(r.Intn(1000))/7),
+		)
+	}
+	return out
+}
+
+// BenchmarkBlockGroup measures the Block path: key every tuple on one cell
+// and group — the shape of every FD/CFD detection pipeline's shuffle.
+func BenchmarkBlockGroup(b *testing.B) {
+	ctx := engine.New(4)
+	tuples := benchTuples(100000, 42)
+	block := func(t model.Tuple) model.Value { return t.Cell(0) }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := engine.Parallelize(ctx, tuples, 0)
+		keyed := engine.KeyBy(d, func(t model.Tuple) model.ValueKey { return block(t).MapKey() })
+		if _, err := engine.GroupByKey(keyed).Count(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchFixSets(n int) []model.FixSet {
+	out := make([]model.FixSet, 0, n)
+	for i := 0; i < n; i++ {
+		// Every violation emitted twice (both orientations), the SQL
+		// self-join duplication dedup exists to remove.
+		l := model.NewCell(int64(i), 2, "city", model.S("a"))
+		r := model.NewCell(int64(i+n), 2, "city", model.S("b"))
+		v1 := model.NewViolation("phi1", l, r)
+		v2 := model.NewViolation("phi1", r, l)
+		out = append(out, model.FixSet{Violation: v1}, model.FixSet{Violation: v2})
+	}
+	return out
+}
+
+// BenchmarkViolationDedup measures the violation-identity path used by both
+// the per-pipeline Distinct and the cross-pipeline dedupeResult.
+func BenchmarkViolationDedup(b *testing.B) {
+	sets := benchFixSets(50000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := &DetectResult{}
+		for _, fs := range sets {
+			res.Violations = append(res.Violations, fs.Violation)
+			res.FixSets = append(res.FixSets, fs)
+		}
+		dedupeResult(res)
+		if len(res.Violations) != 50000 {
+			b.Fatalf("got %d", len(res.Violations))
+		}
+	}
+}

@@ -41,8 +41,8 @@ func localTable() *model.Relation {
 // employee with the same first+last name must report the same salary.
 func TestTwoRelationJob(t *testing.T) {
 	g, l := globalTable(), localTable()
-	nameKeyG := func(tp model.Tuple) string { return tp.Cell(1).Key() + "|" + tp.Cell(2).Key() }
-	nameKeyL := func(tp model.Tuple) string { return tp.Cell(1).Key() + "|" + tp.Cell(2).Key() }
+	nameKeyG := func(tp model.Tuple) model.Value { return model.S(tp.Cell(1).Key() + "|" + tp.Cell(2).Key()) }
+	nameKeyL := func(tp model.Tuple) model.Value { return model.S(tp.Cell(1).Key() + "|" + tp.Cell(2).Key()) }
 
 	job := NewJob("cross-table salary")
 	job.AddInput(l, "L")
@@ -97,7 +97,7 @@ func TestTwoRelationJob(t *testing.T) {
 // the shared scan.
 func TestBushyPlanSharedScans(t *testing.T) {
 	g := globalTable()
-	cityKey := func(tp model.Tuple) string { return tp.Cell(4).Key() }
+	cityKey := func(tp model.Tuple) model.Value { return tp.Cell(4) }
 
 	job := NewJob("bushy")
 	job.AddInput(g, "G1", "G2")
@@ -160,8 +160,8 @@ func TestBushyPlanSharedScans(t *testing.T) {
 // co-grouped streams (the D_M flow of Figure 4).
 func TestJobCustomIterateTwoStreams(t *testing.T) {
 	g, l := globalTable(), localTable()
-	cityG := func(tp model.Tuple) string { return tp.Cell(4).Key() }
-	cityL := func(tp model.Tuple) string { return tp.Cell(4).Key() }
+	cityG := func(tp model.Tuple) model.Value { return tp.Cell(4) }
+	cityL := func(tp model.Tuple) model.Value { return tp.Cell(4) }
 
 	var calls atomic.Int32
 	job := NewJob("custom iterate")

@@ -25,7 +25,7 @@ func TestChainedIterates(t *testing.T) {
 		model.NewTuple(101, model.I(101), model.S("b"), model.F(50)),
 	)
 
-	grpKey := func(tp model.Tuple) string { return tp.Cell(1).Key() }
+	grpKey := func(tp model.Tuple) model.Value { return tp.Cell(1) }
 
 	job := NewJob("Example Job")
 	job.AddInput(d1, "S", "T")
@@ -118,7 +118,7 @@ func TestDerivedStreamUnkeyedFallback(t *testing.T) {
 	rel := exampleTax()
 	job := NewJob("unkeyed")
 	job.AddInput(rel, "S", "T")
-	job.AddBlock(func(tp model.Tuple) string { return tp.Cell(3).Key() }, "S")
+	job.AddBlock(func(tp model.Tuple) model.Value { return tp.Cell(3) }, "S")
 	// T stays unkeyed.
 	called := 0
 	job.AddIterate(func(blocks [][]model.Tuple) []Item {

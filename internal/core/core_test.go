@@ -37,7 +37,7 @@ func fdRule() *Rule {
 			// original column positions so fixes address the base table.
 			return []model.Tuple{t}
 		},
-		Block:     func(t model.Tuple) string { return t.Cell(1).Key() },
+		Block:     func(t model.Tuple) model.Value { return t.Cell(1) },
 		Symmetric: true,
 		Detect: func(it Item) []model.Violation {
 			l, r := it.Left(), it.Right()
@@ -94,7 +94,7 @@ func TestRuleValidate(t *testing.T) {
 		t.Error("missing ID should fail")
 	}
 	bad := &Rule{ID: "x", Detect: func(Item) []model.Violation { return nil },
-		Block:      func(model.Tuple) string { return "" },
+		Block:      func(model.Tuple) model.Value { return model.Value{} },
 		OrderConds: []join.Cond{{LeftCol: 0, Op: model.OpLT, RightCol: 0}}}
 	if err := bad.Validate(); err == nil {
 		t.Error("Block plus OrderConds should fail")
@@ -105,7 +105,7 @@ func TestRuleValidate(t *testing.T) {
 		t.Error("equality order condition should fail")
 	}
 	brOnly := &Rule{ID: "x", Detect: func(Item) []model.Violation { return nil },
-		BlockRight: func(model.Tuple) string { return "" }}
+		BlockRight: func(model.Tuple) model.Value { return model.Value{} }}
 	if err := brOnly.Validate(); err == nil {
 		t.Error("BlockRight without Block should fail")
 	}
@@ -177,7 +177,7 @@ func contains(ids []int64, x int64) bool {
 func TestOptimizerEnhancerSelection(t *testing.T) {
 	rel := exampleTax()
 	detect := func(Item) []model.Violation { return nil }
-	block := func(t model.Tuple) string { return t.Cell(1).Key() }
+	block := func(t model.Tuple) model.Value { return t.Cell(1) }
 
 	cases := []struct {
 		name string
@@ -215,7 +215,7 @@ func TestJobAPIAndPlanBuilding(t *testing.T) {
 	job := NewJob("Example Job")
 	job.AddInput(rel, "S")
 	job.AddScope(func(t model.Tuple) []model.Tuple { return []model.Tuple{t} }, "S")
-	job.AddBlock(func(t model.Tuple) string { return t.Cell(1).Key() }, "S")
+	job.AddBlock(func(t model.Tuple) model.Value { return t.Cell(1) }, "S")
 	job.AddIterate(PairsUnique, "V", "S")
 	job.AddDetect(fdRule().Detect, "V")
 	job.AddGenFix(fdRule().GenFix, "V")
@@ -265,7 +265,7 @@ func TestJobValidationErrors(t *testing.T) {
 
 	badLabel := NewJob("bad label")
 	badLabel.AddInput(rel, "S")
-	badLabel.AddBlock(func(model.Tuple) string { return "" }, "T")
+	badLabel.AddBlock(func(model.Tuple) model.Value { return model.Value{} }, "T")
 	badLabel.AddDetect(func(Item) []model.Violation { return nil }, "S")
 	if _, err := BuildPlan(badLabel); err == nil {
 		t.Error("block on undefined label should fail")
@@ -287,10 +287,10 @@ func TestConsolidationSharesScans(t *testing.T) {
 	r := &Rule{
 		ID:     "dc1",
 		Scope:  scope,
-		Block:  func(t model.Tuple) string { return t.Cell(0).Key() },
+		Block:  func(t model.Tuple) model.Value { return t.Cell(0) },
 		Detect: func(Item) []model.Violation { return nil },
 	}
-	r.BlockRight = func(t model.Tuple) string { return t.Cell(0).Key() }
+	r.BlockRight = func(t model.Tuple) model.Value { return t.Cell(0) }
 	lp, err := PlanRule(r, rel)
 	if err != nil {
 		t.Fatal(err)
@@ -330,8 +330,8 @@ func TestCoBlockAcrossTwoKeyings(t *testing.T) {
 	seen := map[string]bool{}
 	r := &Rule{
 		ID:         "coblock",
-		Block:      func(t model.Tuple) string { return t.Cell(1).Key() },
-		BlockRight: func(t model.Tuple) string { return t.Cell(1).Key() },
+		Block:      func(t model.Tuple) model.Value { return t.Cell(1) },
+		BlockRight: func(t model.Tuple) model.Value { return t.Cell(1) },
 		Detect: func(it Item) []model.Violation {
 			l, rr := it.Left(), it.Right()
 			if l.Cell(2).Equal(rr.Cell(2)) {
@@ -393,7 +393,7 @@ func TestCustomIterate(t *testing.T) {
 	var calls atomic.Int32
 	r := &Rule{
 		ID:    "adjacent",
-		Block: func(t model.Tuple) string { return t.Cell(3).Key() }, // state
+		Block: func(t model.Tuple) model.Value { return t.Cell(3) }, // state
 		Iterate: func(blocks [][]model.Tuple) []Item {
 			calls.Add(1)
 			us := blocks[0]

@@ -66,10 +66,13 @@ func runPipelineMR(eng *mapred.Engine, pp *PhysicalPlan, p *PhysicalPipeline, nS
 			}
 			units = next
 		}
+		// Serialization boundary: the disk-based MR engine shuffles string
+		// keys by design, so the block value is rendered once per record
+		// here — the in-memory backend never does (it groups on MapKey).
 		key := ""
 		for _, u := range units {
 			if b.Block != nil {
-				key = b.Block(u)
+				key = b.Block(u).Key()
 			}
 			emit(key, append([]byte{byte(tag)}, model.EncodeTuple(u)...))
 		}

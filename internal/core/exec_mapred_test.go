@@ -21,8 +21,8 @@ func TestMapReduceCoBlockParity(t *testing.T) {
 	)
 	r := &Rule{
 		ID:         "dc1",
-		Block:      func(tp model.Tuple) string { return tp.Cell(0).Key() }, // c_name
-		BlockRight: func(tp model.Tuple) string { return tp.Cell(2).Key() }, // s_name
+		Block:      func(tp model.Tuple) model.Value { return tp.Cell(0) }, // c_name
+		BlockRight: func(tp model.Tuple) model.Value { return tp.Cell(2) }, // s_name
 		Detect: func(it Item) []model.Violation {
 			c, sup := it.Left(), it.Right()
 			if c.Cell(0).Equal(sup.Cell(2)) && !c.Cell(1).Equal(sup.Cell(3)) {

@@ -148,7 +148,7 @@ func (ex *sparkExec) iterateItems(pp *PhysicalPlan, iterate IterateFunc, branche
 		if err != nil {
 			return nil, err
 		}
-		return engine.FlatMap(cg, func(g engine.Pair[string, engine.CoGrouped[model.Tuple, model.Tuple]]) []Item {
+		return engine.FlatMap(cg, func(g engine.Pair[model.ValueKey, engine.CoGrouped[model.Tuple, model.Tuple]]) []Item {
 			return iterate([][]model.Tuple{g.Value.Left, g.Value.Right})
 		}), nil
 	case len(branches) >= 2:
@@ -174,7 +174,7 @@ func (ex *sparkExec) iterateItems(pp *PhysicalPlan, iterate IterateFunc, branche
 		}
 		if branches[0].Block != nil {
 			grouped := ex.blocks(first, branches[0].Block)
-			return engine.FlatMap(grouped, func(g engine.Pair[string, []model.Tuple]) []Item {
+			return engine.FlatMap(grouped, func(g engine.Pair[model.ValueKey, []model.Tuple]) []Item {
 				return iterate([][]model.Tuple{g.Value})
 			}), nil
 		}
@@ -186,9 +186,10 @@ func (ex *sparkExec) iterateItems(pp *PhysicalPlan, iterate IterateFunc, branche
 	}
 }
 
-// blocks groups a branch stream by its Block key.
-func (ex *sparkExec) blocks(d *engine.Dataset[model.Tuple], block BlockFunc) *engine.Dataset[engine.Pair[string, []model.Tuple]] {
-	keyed := engine.KeyBy(d, func(t model.Tuple) string { return block(t) })
+// blocks groups a branch stream by its Block key. Grouping is on the
+// value's comparable MapKey — no per-record key string is materialized.
+func (ex *sparkExec) blocks(d *engine.Dataset[model.Tuple], block BlockFunc) *engine.Dataset[engine.Pair[model.ValueKey, []model.Tuple]] {
+	keyed := engine.KeyBy(d, func(t model.Tuple) model.ValueKey { return block(t).MapKey() })
 	return engine.GroupByKey(keyed)
 }
 
@@ -209,7 +210,7 @@ func (ex *sparkExec) runPipeline(pp *PhysicalPlan, p *PhysicalPipeline, out *Det
 	// dedup shuffle.
 	switch p.Impl {
 	case IterOrderedPairs, IterCoBlockPairs, IterCustom:
-		violations = engine.Distinct(violations, func(v model.Violation) string { return v.Key() })
+		violations = engine.Distinct(violations, func(v model.Violation) model.ViolationKey { return v.MapKey() })
 	}
 	if p.GenFix != nil {
 		genfix := p.GenFix
@@ -246,7 +247,7 @@ func (ex *sparkExec) items(pp *PhysicalPlan, p *PhysicalPipeline) (*engine.Datas
 		if err != nil {
 			return nil, err
 		}
-		return engine.FlatMap(cg, func(g engine.Pair[string, engine.CoGrouped[model.Tuple, model.Tuple]]) []Item {
+		return engine.FlatMap(cg, func(g engine.Pair[model.ValueKey, engine.CoGrouped[model.Tuple, model.Tuple]]) []Item {
 			return PairsAcross([][]model.Tuple{g.Value.Left, g.Value.Right})
 		}), nil
 	}
@@ -273,7 +274,7 @@ func (ex *sparkExec) items(pp *PhysicalPlan, p *PhysicalPipeline) (*engine.Datas
 	case IterUniquePairs:
 		if b := p.Branches[0].Block; b != nil {
 			grouped := ex.blocks(first, b)
-			return engine.FlatMap(grouped, func(g engine.Pair[string, []model.Tuple]) []Item {
+			return engine.FlatMap(grouped, func(g engine.Pair[model.ValueKey, []model.Tuple]) []Item {
 				return PairsUnique([][]model.Tuple{g.Value})
 			}), nil
 		}
@@ -285,7 +286,7 @@ func (ex *sparkExec) items(pp *PhysicalPlan, p *PhysicalPipeline) (*engine.Datas
 	case IterOrderedPairs:
 		if b := p.Branches[0].Block; b != nil {
 			grouped := ex.blocks(first, b)
-			return engine.FlatMap(grouped, func(g engine.Pair[string, []model.Tuple]) []Item {
+			return engine.FlatMap(grouped, func(g engine.Pair[model.ValueKey, []model.Tuple]) []Item {
 				return PairsOrdered([][]model.Tuple{g.Value})
 			}), nil
 		}
@@ -300,7 +301,7 @@ func (ex *sparkExec) items(pp *PhysicalPlan, p *PhysicalPipeline) (*engine.Datas
 }
 
 // coGroupBranches keys the first two branches and co-groups them.
-func (ex *sparkExec) coGroupBranches(pp *PhysicalPlan, branches []Branch) (*engine.Dataset[engine.Pair[string, engine.CoGrouped[model.Tuple, model.Tuple]]], error) {
+func (ex *sparkExec) coGroupBranches(pp *PhysicalPlan, branches []Branch) (*engine.Dataset[engine.Pair[model.ValueKey, engine.CoGrouped[model.Tuple, model.Tuple]]], error) {
 	if len(branches) < 2 {
 		return nil, fmt.Errorf("core: CoBlock needs two branches")
 	}
@@ -316,8 +317,8 @@ func (ex *sparkExec) coGroupBranches(pp *PhysicalPlan, branches []Branch) (*engi
 	if lb == nil || rb == nil {
 		return nil, fmt.Errorf("core: CoBlock requires Block on both branches")
 	}
-	lk := engine.KeyBy(left, func(t model.Tuple) string { return lb(t) })
-	rk := engine.KeyBy(right, func(t model.Tuple) string { return rb(t) })
+	lk := engine.KeyBy(left, func(t model.Tuple) model.ValueKey { return lb(t).MapKey() })
+	rk := engine.KeyBy(right, func(t model.Tuple) model.ValueKey { return rb(t).MapKey() })
 	cg := engine.CoGroup(lk, rk)
 	if err := cg.Err(); err != nil {
 		return nil, err
@@ -326,13 +327,14 @@ func (ex *sparkExec) coGroupBranches(pp *PhysicalPlan, branches []Branch) (*engi
 }
 
 // dedupeResult removes duplicate violations across pipelines while keeping
-// FixSets aligned.
+// FixSets aligned. Identity is the comparable ViolationKey, so deduping a
+// result allocates nothing per violation.
 func dedupeResult(r *DetectResult) {
-	seen := make(map[string]bool, len(r.FixSets))
+	seen := make(map[model.ViolationKey]bool, len(r.FixSets))
 	outV := r.Violations[:0]
 	outF := r.FixSets[:0]
 	for i, fs := range r.FixSets {
-		k := fs.Violation.Key()
+		k := fs.Violation.MapKey()
 		if seen[k] {
 			continue
 		}

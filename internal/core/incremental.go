@@ -30,12 +30,21 @@ type IncrementalDetector struct {
 	primed bool
 }
 
+// blockID is the comparable identity of one block in the incremental
+// cache: the Block value's MapKey for blocked rules, or the tuple ID for
+// unary rules (each tuple is its own block). Keeping it a struct avoids the
+// per-tuple "u%d" / key-string formatting of the string-keyed cache.
+type blockID struct {
+	unary bool
+	tuple int64
+	key   model.ValueKey
+}
+
 type ruleState struct {
 	// keyOf is the tuple ID -> blocking key map of the last pass.
-	keyOf map[int64]string
-	// byBlock groups the rule's fix sets by blocking key ("" for unary
-	// rules, keyed by tuple instead).
-	byBlock map[string][]model.FixSet
+	keyOf map[int64]blockID
+	// byBlock groups the rule's fix sets by blocking key.
+	byBlock map[blockID][]model.FixSet
 }
 
 // NewIncrementalDetector validates the rules and prepares state.
@@ -96,7 +105,7 @@ func (d *IncrementalDetector) fullPass(rel *model.Relation) (*DetectResult, erro
 			d.full = append(d.full, sub.FixSets...)
 			continue
 		}
-		st := &ruleState{keyOf: map[int64]string{}, byBlock: map[string][]model.FixSet{}}
+		st := &ruleState{keyOf: map[int64]blockID{}, byBlock: map[blockID][]model.FixSet{}}
 		for _, t := range rel.Tuples {
 			st.keyOf[t.ID] = d.blockKey(r, t)
 		}
@@ -112,19 +121,19 @@ func (d *IncrementalDetector) fullPass(rel *model.Relation) (*DetectResult, erro
 	return out, nil
 }
 
-// blockKey computes a tuple's blocking key ("" plus the tuple id for unary
+// blockKey computes a tuple's blocking identity (the tuple ID for unary
 // rules, which are keyed per tuple).
-func (d *IncrementalDetector) blockKey(r *Rule, t model.Tuple) string {
+func (d *IncrementalDetector) blockKey(r *Rule, t model.Tuple) blockID {
 	if r.Unary {
-		return fmt.Sprintf("u%d", t.ID)
+		return blockID{unary: true, tuple: t.ID}
 	}
-	return r.Block(t)
+	return blockID{key: r.Block(t).MapKey()}
 }
 
 // violationBlock attributes a fix set to a block through its first cell.
-func (d *IncrementalDetector) violationBlock(r *Rule, st *ruleState, fs model.FixSet) string {
+func (d *IncrementalDetector) violationBlock(r *Rule, st *ruleState, fs model.FixSet) blockID {
 	if len(fs.Violation.Cells) == 0 {
-		return ""
+		return blockID{}
 	}
 	return st.keyOf[fs.Violation.Cells[0].TupleID]
 }
@@ -138,7 +147,7 @@ func (d *IncrementalDetector) incrementalPass(idx int, r *Rule, rel *model.Relat
 	byID := rel.ByID()
 
 	// Affected blocks: old key and new key of every changed tuple.
-	affected := map[string]bool{}
+	affected := map[blockID]bool{}
 	for _, id := range changed {
 		if old, ok := st.keyOf[id]; ok {
 			affected[old] = true

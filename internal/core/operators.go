@@ -23,8 +23,12 @@ import (
 type ScopeFunc func(model.Tuple) []model.Tuple
 
 // BlockFunc assigns a data unit the blocking key of the group in which
-// violations may occur (Section 3.1, operator 2).
-type BlockFunc func(model.Tuple) string
+// violations may occur (Section 3.1, operator 2). The key is a model.Value:
+// single-attribute blocks return the cell value itself (no per-record
+// allocation), composite blocks render their parts into one string value.
+// The engine groups on the value's comparable MapKey, so I(1), F(1) and
+// S("1") block apart exactly as the old string keys did.
+type BlockFunc func(model.Tuple) model.Value
 
 // IterateFunc combines data units into candidate violations. It receives
 // one list per input stream (the units of one co-grouped block) and emits

@@ -35,8 +35,7 @@ package engine
 
 import (
 	"fmt"
-	"hash/fnv"
-	"math"
+	"hash/maphash"
 	"runtime"
 	"sort"
 	"strconv"
@@ -49,6 +48,14 @@ import (
 // Stats accumulates execution counters for one Context: cheap atomic
 // totals plus a per-stage log. Read a consistent view with Snapshot, or the
 // individual totals with the accessor methods.
+//
+// Contention audit (fused stages report once per partition): the four hot
+// totals are sync/atomic counters touched once per stage or task, never per
+// record; per-task shuffle counts accumulate lock-free in taskCtx and fold
+// into one atomic add at task exit. The only mutex is the per-stage log,
+// taken once per stage execution (not per task), where entries are
+// aggregated by stage name in place so the log stays bounded by the number
+// of distinct stage names rather than growing per execution.
 type Stats struct {
 	tasks           atomic.Int64
 	stages          atomic.Int64
@@ -57,6 +64,7 @@ type Stats struct {
 
 	mu       sync.Mutex
 	perStage []StageStat
+	stageIdx map[string]int
 }
 
 // StageStat describes the executions of one named stage: how many times it
@@ -82,6 +90,9 @@ type Snapshot struct {
 
 // Snapshot returns the current counters and the per-stage breakdown in one
 // struct, so callers no longer stitch the four atomic accessors together.
+// The totals are atomic loads and the per-stage log is already aggregated by
+// name at record time, so the copy under the mutex is proportional to the
+// number of distinct stage names.
 func (s *Stats) Snapshot() Snapshot {
 	snap := Snapshot{
 		Stages:          s.stages.Load(),
@@ -91,20 +102,7 @@ func (s *Stats) Snapshot() Snapshot {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	idx := make(map[string]int, len(s.perStage))
-	for _, st := range s.perStage {
-		i, ok := idx[st.Name]
-		if !ok {
-			idx[st.Name] = len(snap.PerStage)
-			snap.PerStage = append(snap.PerStage, st)
-			continue
-		}
-		agg := &snap.PerStage[i]
-		agg.Runs += st.Runs
-		agg.Tasks += st.Tasks
-		agg.RecordsShuffled += st.RecordsShuffled
-		agg.Wall += st.Wall
-	}
+	snap.PerStage = append([]StageStat(nil), s.perStage...)
 	return snap
 }
 
@@ -148,13 +146,28 @@ func (s *Stats) Reset() {
 	s.recordsRead.Store(0)
 	s.mu.Lock()
 	s.perStage = nil
+	s.stageIdx = nil
 	s.mu.Unlock()
 }
 
+// record folds one stage execution into the per-name aggregate (first-seen
+// order preserved), taken once per stage, not per task or record.
 func (s *Stats) record(st StageStat) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stageIdx == nil {
+		s.stageIdx = make(map[string]int)
+	}
+	if i, ok := s.stageIdx[st.Name]; ok {
+		agg := &s.perStage[i]
+		agg.Runs += st.Runs
+		agg.Tasks += st.Tasks
+		agg.RecordsShuffled += st.RecordsShuffled
+		agg.Wall += st.Wall
+		return
+	}
+	s.stageIdx[st.Name] = len(s.perStage)
 	s.perStage = append(s.perStage, st)
-	s.mu.Unlock()
 }
 
 // Context is the execution environment for datasets: a fixed-size worker
@@ -255,43 +268,16 @@ func (c *Context) runStage(name string, n int, f func(tk *taskCtx)) error {
 	return firstEr
 }
 
-// hashAny hashes a comparable key for hash partitioning. Strings and
-// integers — the key types BigDansing produces — take fast paths.
-func hashAny(k any) uint64 {
-	switch v := k.(type) {
-	case string:
-		h := fnv.New64a()
-		h.Write([]byte(v))
-		return h.Sum64()
-	case int:
-		return mix64(uint64(v))
-	case int64:
-		return mix64(uint64(v))
-	case int32:
-		return mix64(uint64(v))
-	case uint64:
-		return mix64(v)
-	case float64:
-		return mix64(math.Float64bits(v))
-	case bool:
-		if v {
-			return mix64(1)
-		}
-		return mix64(0)
-	default:
-		h := fnv.New64a()
-		h.Write([]byte(fmt.Sprint(v)))
-		return h.Sum64()
-	}
-}
+// shuffleSeed is the process-wide seed for shuffle-key hashing; it only has
+// to be consistent within one run, which is all hash partitioning needs.
+var shuffleSeed = maphash.MakeSeed()
 
-// mix64 is a finalizer-style bit mixer (splitmix64) giving integer keys a
-// uniform spread over partitions.
-func mix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
+// hashKey hashes any comparable shuffle key via the runtime's native hash.
+// Unlike the interface-based hashAny it replaces, it never boxes the key
+// into an interface (no per-record allocation) and never stringifies —
+// struct keys like model.ValueKey hash at memory speed.
+func hashKey[K comparable](k K) uint64 {
+	return maphash.Comparable(shuffleSeed, k)
 }
 
 // itoa is a tiny helper used in diagnostics.

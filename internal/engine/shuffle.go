@@ -1,5 +1,37 @@
 package engine
 
+import "sync"
+
+// shuffleScratch holds the per-task index arrays of one scatter pass. The
+// arrays are sized to the partition being scattered and reused across
+// stages via a sync.Pool, so steady-state shuffles allocate only the
+// buckets they hand downstream, not their working memory.
+type shuffleScratch struct {
+	dsts   []uint32
+	counts []int
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(shuffleScratch) }}
+
+// grab returns the pooled scratch with dsts sized to rows and counts sized
+// (and zeroed) to n destinations.
+func grabScratch(rows, n int) *shuffleScratch {
+	s := scratchPool.Get().(*shuffleScratch)
+	if cap(s.dsts) < rows {
+		s.dsts = make([]uint32, rows)
+	}
+	s.dsts = s.dsts[:rows]
+	if cap(s.counts) < n {
+		s.counts = make([]int, n)
+	} else {
+		s.counts = s.counts[:n]
+		for i := range s.counts {
+			s.counts[i] = 0
+		}
+	}
+	return s
+}
+
 // Pair is a key-value record, the currency of wide transformations.
 type Pair[K comparable, V any] struct {
 	Key   K
@@ -35,10 +67,10 @@ func shuffleByKey[K comparable, V any](d *Dataset[Pair[K, V]], n int) ([][]Pair[
 	scatter := make([][][]Pair[K, V], len(parts))
 	err = d.ctx.runStage("shuffle:scatter", len(parts), func(tk *taskCtx) {
 		in := parts[tk.part]
-		dsts := make([]uint32, len(in))
-		counts := make([]int, n)
+		scratch := grabScratch(len(in), n)
+		dsts, counts := scratch.dsts, scratch.counts
 		for i, kv := range in {
-			dst := uint32(hashAny(kv.Key) % uint64(n))
+			dst := uint32(hashKey(kv.Key) % uint64(n))
 			dsts[i] = dst
 			counts[dst]++
 		}
@@ -52,6 +84,7 @@ func shuffleByKey[K comparable, V any](d *Dataset[Pair[K, V]], n int) ([][]Pair[
 			local[dsts[i]] = append(local[dsts[i]], kv)
 		}
 		scatter[tk.part] = local
+		scratchPool.Put(scratch)
 	})
 	if err != nil {
 		return nil, err
@@ -88,17 +121,20 @@ func GroupByKey[K comparable, V any](d *Dataset[Pair[K, V]]) *Dataset[Pair[K, []
 	out := make([][]Pair[K, []V], len(buckets))
 	gerr := d.ctx.runStage("groupByKey", len(buckets), func(tk *taskCtx) {
 		p := tk.part
-		groups := make(map[K][]V)
-		var order []K
+		// One map lookup per record: the map holds indexes into the result
+		// slice (which doubles as the first-seen key order), so existing
+		// keys cost a single hash instead of a seen-check plus two accesses
+		// — the difference is visible with struct keys, which lack the
+		// runtime's specialized string fast path.
+		idx := make(map[K]int32, 64)
+		res := make([]Pair[K, []V], 0, 64)
 		for _, kv := range buckets[p] {
-			if _, seen := groups[kv.Key]; !seen {
-				order = append(order, kv.Key)
+			if gi, seen := idx[kv.Key]; seen {
+				res[gi].Value = append(res[gi].Value, kv.Value)
+			} else {
+				idx[kv.Key] = int32(len(res))
+				res = append(res, KV(kv.Key, []V{kv.Value}))
 			}
-			groups[kv.Key] = append(groups[kv.Key], kv.Value)
-		}
-		res := make([]Pair[K, []V], 0, len(order))
-		for _, k := range order {
-			res = append(res, KV(k, groups[k]))
 		}
 		out[p] = res
 	})
@@ -113,21 +149,19 @@ func GroupByKey[K comparable, V any](d *Dataset[Pair[K, V]]) *Dataset[Pair[K, []
 // word-count structure relies on (Section 5.2). The combine fuses into the
 // input's pending narrow chain.
 func ReduceByKey[K comparable, V any](d *Dataset[Pair[K, V]], combine func(a, b V) V) *Dataset[Pair[K, V]] {
-	// Map-side combine (narrow, fuses with whatever precedes it).
+	// Map-side combine (narrow, fuses with whatever precedes it). Like
+	// groupByKey, the map indexes the result slice so each record costs one
+	// lookup and combining writes through the slice, not the map.
 	pre := MapPartitions(d, func(_ int, in []Pair[K, V]) []Pair[K, V] {
-		acc := make(map[K]V)
-		var order []K
+		idx := make(map[K]int32, 64)
+		res := make([]Pair[K, V], 0, 64)
 		for _, kv := range in {
-			if cur, seen := acc[kv.Key]; seen {
-				acc[kv.Key] = combine(cur, kv.Value)
+			if gi, seen := idx[kv.Key]; seen {
+				res[gi].Value = combine(res[gi].Value, kv.Value)
 			} else {
-				acc[kv.Key] = kv.Value
-				order = append(order, kv.Key)
+				idx[kv.Key] = int32(len(res))
+				res = append(res, kv)
 			}
-		}
-		res := make([]Pair[K, V], 0, len(order))
-		for _, k := range order {
-			res = append(res, KV(k, acc[k]))
 		}
 		return res
 	})

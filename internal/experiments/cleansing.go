@@ -27,10 +27,10 @@ func nadeefClean(rule *core.Rule, rel *model.Relation, algo repair.Algorithm, ma
 			return nil, iter, err
 		}
 		// Deduplicate and attach fixes (NADEEF's violation store).
-		seen := map[string]bool{}
+		seen := map[model.ViolationKey]bool{}
 		var fixSets []model.FixSet
 		for _, v := range det.Violations {
-			k := v.Key()
+			k := v.MapKey()
 			if seen[k] {
 				continue
 			}

@@ -1,5 +1,7 @@
 package graph
 
+import "sync/atomic"
+
 // ConnectedComponents labels every vertex with the smallest vertex ID in its
 // component, computed with HashMin label propagation on the BSP engine —
 // the same algorithm GraphX's connectedComponents() runs for the paper's
@@ -103,4 +105,65 @@ func (u *UnionFind) Components() map[int64]int64 {
 		out[x] = mins[u.Find(x)]
 	}
 	return out
+}
+
+// ConcurrentUnionFind is a lock-free disjoint-set structure over the dense
+// element range [0, n). Union links the larger root under the smaller via
+// compare-and-swap, so after all unions the representative of every set is
+// its minimum member — the same canonical labeling HashMin converges to,
+// which lets the repair layer swap it in for the BSP computation without
+// changing component IDs. Find uses path halving; every parent update is a
+// CAS, so concurrent Union/Find calls from the worker pool are safe.
+type ConcurrentUnionFind struct {
+	parent []atomic.Int32
+}
+
+// NewConcurrentUnionFind creates n singleton sets 0..n-1.
+func NewConcurrentUnionFind(n int) *ConcurrentUnionFind {
+	u := &ConcurrentUnionFind{parent: make([]atomic.Int32, n)}
+	for i := range u.parent {
+		u.parent[i].Store(int32(i))
+	}
+	return u
+}
+
+// Find returns the current representative of x's set, halving the path as
+// it walks. A racing Union can change the representative after Find
+// returns; callers needing the final labeling call Find after all unions
+// complete.
+func (u *ConcurrentUnionFind) Find(x int32) int32 {
+	for {
+		p := u.parent[x].Load()
+		if p == x {
+			return x
+		}
+		gp := u.parent[p].Load()
+		if gp == p {
+			return p
+		}
+		// Halve: point x at its grandparent. A lost race just means another
+		// worker already shortened (or re-rooted) the path.
+		u.parent[x].CompareAndSwap(p, gp)
+		x = gp
+	}
+}
+
+// Union merges the sets of a and b, rooting the merged set at the smaller
+// of the two representatives.
+func (u *ConcurrentUnionFind) Union(a, b int32) {
+	for {
+		ra, rb := u.Find(a), u.Find(b)
+		if ra == rb {
+			return
+		}
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		// Attach the larger root under the smaller. The CAS only succeeds
+		// while rb is still a root; otherwise another union intervened and
+		// the loop re-resolves both representatives.
+		if u.parent[rb].CompareAndSwap(rb, ra) {
+			return
+		}
+	}
 }

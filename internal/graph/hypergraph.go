@@ -4,21 +4,36 @@ import (
 	"sort"
 )
 
-// Hyperedge is one edge of a hypergraph: an identifier plus the set of node
-// keys it covers. In the repair layer a hyperedge is a violation and the
-// nodes are the cells ("elements") its possible fixes touch (Section 5.1).
-type Hyperedge struct {
+// HyperedgeOf is one edge of a hypergraph: an identifier plus the set of
+// node keys it covers, generic over any comparable node type. In the repair
+// layer a hyperedge is a violation and the nodes are the cells ("elements")
+// its possible fixes touch (Section 5.1) — keyed by model.CellKey rather
+// than a rendered string, so building the graph allocates no per-cell
+// strings.
+type HyperedgeOf[N comparable] struct {
 	ID    int64
-	Nodes []string
+	Nodes []N
 }
 
-// Hypergraph is a set of hyperedges over string-keyed nodes.
-type Hypergraph struct {
-	Edges []Hyperedge
+// Hyperedge is a string-keyed hyperedge, kept for callers (and tests) that
+// key nodes by rendered strings.
+type Hyperedge = HyperedgeOf[string]
+
+// HypergraphOf is a set of hyperedges over comparable-keyed nodes.
+type HypergraphOf[N comparable] struct {
+	Edges []HyperedgeOf[N]
 }
 
-// NewHypergraph builds a hypergraph.
-func NewHypergraph(edges []Hyperedge) *Hypergraph { return &Hypergraph{Edges: edges} }
+// Hypergraph is a string-keyed hypergraph.
+type Hypergraph = HypergraphOf[string]
+
+// NewHypergraphOf builds a hypergraph over any comparable node type.
+func NewHypergraphOf[N comparable](edges []HyperedgeOf[N]) *HypergraphOf[N] {
+	return &HypergraphOf[N]{Edges: edges}
+}
+
+// NewHypergraph builds a string-keyed hypergraph.
+func NewHypergraph(edges []Hyperedge) *Hypergraph { return NewHypergraphOf(edges) }
 
 // ConnectedComponents groups hyperedges into connected components: two
 // hyperedges are connected when they share a node. It returns, per
@@ -27,13 +42,13 @@ func NewHypergraph(edges []Hyperedge) *Hypergraph { return &Hypergraph{Edges: ed
 // The computation mirrors the paper's use of GraphX: the hypergraph is
 // encoded as a bipartite graph (hyperedge vertices and node vertices) and
 // connected components run on the BSP engine.
-func (h *Hypergraph) ConnectedComponents(parallelism int) (map[int64]int64, error) {
+func (h *HypergraphOf[N]) ConnectedComponents(parallelism int) (map[int64]int64, error) {
 	if len(h.Edges) == 0 {
 		return map[int64]int64{}, nil
 	}
 	// Encode: hyperedge e -> vertex 2*idx; node n -> vertex 2*nodeIdx+1.
 	// Using dense indexes keeps vertex IDs disjoint from hyperedge IDs.
-	nodeIdx := make(map[string]int64)
+	nodeIdx := make(map[N]int64)
 	g := &Graph{adj: make(map[VertexID][]VertexID)}
 	for i, e := range h.Edges {
 		ev := VertexID(2 * int64(i))
@@ -73,9 +88,9 @@ func (h *Hypergraph) ConnectedComponents(parallelism int) (map[int64]int64, erro
 // (minimizing cut), subject to a balance cap of ceil(|E|/k)+1 edges.
 // The paper invokes this when a connected component is too large for one
 // repair worker's memory (Section 5.1).
-func (h *Hypergraph) PartitionKWay(k int) [][]Hyperedge {
+func (h *HypergraphOf[N]) PartitionKWay(k int) [][]HyperedgeOf[N] {
 	if k <= 1 || len(h.Edges) <= 1 {
-		return [][]Hyperedge{append([]Hyperedge(nil), h.Edges...)}
+		return [][]HyperedgeOf[N]{append([]HyperedgeOf[N](nil), h.Edges...)}
 	}
 	if k > len(h.Edges) {
 		k = len(h.Edges)
@@ -90,10 +105,10 @@ func (h *Hypergraph) PartitionKWay(k int) [][]Hyperedge {
 		return len(h.Edges[order[a]].Nodes) > len(h.Edges[order[b]].Nodes)
 	})
 
-	parts := make([][]Hyperedge, k)
-	nodeParts := make([]map[string]int, k) // node -> times seen in part
+	parts := make([][]HyperedgeOf[N], k)
+	nodeParts := make([]map[N]int, k) // node -> times seen in part
 	for i := range nodeParts {
-		nodeParts[i] = make(map[string]int)
+		nodeParts[i] = make(map[N]int)
 	}
 	for _, ei := range order {
 		e := h.Edges[ei]
@@ -138,11 +153,11 @@ func (h *Hypergraph) PartitionKWay(k int) [][]Hyperedge {
 // Cut counts the nodes appearing in more than one of the given parts — the
 // quantity the partitioner heuristically minimizes and the number of cells
 // at risk of contradictory repairs (Example 2).
-func Cut(parts [][]Hyperedge) int {
-	seenIn := make(map[string]int)
+func Cut[N comparable](parts [][]HyperedgeOf[N]) int {
+	seenIn := make(map[N]int)
 	for pi, p := range parts {
 		mark := pi + 1
-		seen := make(map[string]bool)
+		seen := make(map[N]bool)
 		for _, e := range p {
 			for _, n := range e.Nodes {
 				if seen[n] {

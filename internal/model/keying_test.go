@@ -1,0 +1,137 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+// randomKeyValue draws a value across every kind, biased toward
+// collision-prone corners: numerically equal values of different kinds
+// (I(1), F(1), S("1")), NaN, signed zero, empty strings and nulls.
+func randomKeyValue(r *rand.Rand) Value {
+	switch r.Intn(10) {
+	case 0:
+		return Null()
+	case 1:
+		return S("")
+	case 2:
+		return S(strconv.Itoa(r.Intn(5)))
+	case 3:
+		return I(int64(r.Intn(5)))
+	case 4:
+		return F(float64(r.Intn(5)))
+	case 5:
+		return F(math.NaN())
+	case 6:
+		return F(math.Copysign(0, -1))
+	case 7:
+		return F(0)
+	case 8:
+		return I(-int64(r.Intn(3)))
+	default:
+		return S(string(rune('a' + r.Intn(3))))
+	}
+}
+
+// TestMapKeyGroupingMatchesStringKeyGrouping is the keying-layer contract:
+// grouping values on the comparable MapKey struct must produce exactly the
+// partition that grouping on the legacy Key() string produces. The engine
+// shuffles on MapKey; Key() survives for diagnostics — both must agree on
+// what "the same key" means, including NaN (equal to itself as a key) and
+// -0 vs +0 (one key).
+func TestMapKeyGroupingMatchesStringKeyGrouping(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(50)
+		vals := make([]Value, n)
+		for i := range vals {
+			vals[i] = randomKeyValue(r)
+		}
+		byString := map[string][]int{}
+		byStruct := map[ValueKey][]int{}
+		structOf := map[string]ValueKey{}
+		for i, v := range vals {
+			sk, mk := v.Key(), v.MapKey()
+			byString[sk] = append(byString[sk], i)
+			byStruct[mk] = append(byStruct[mk], i)
+			if prev, ok := structOf[sk]; ok && prev != mk {
+				t.Fatalf("trial %d: string key %q maps to two struct keys %v and %v", trial, sk, prev, mk)
+			}
+			structOf[sk] = mk
+		}
+		if len(byString) != len(byStruct) {
+			t.Fatalf("trial %d: %d string groups vs %d struct groups", trial, len(byString), len(byStruct))
+		}
+		for sk, members := range byString {
+			got := byStruct[structOf[sk]]
+			if len(got) != len(members) {
+				t.Fatalf("trial %d: group %q has %d members under string keys, %d under struct keys",
+					trial, sk, len(members), len(got))
+			}
+			for i := range members {
+				if members[i] != got[i] {
+					t.Fatalf("trial %d: group %q members differ: %v vs %v", trial, sk, members, got)
+				}
+			}
+		}
+	}
+}
+
+func TestMapKeySeparatesKinds(t *testing.T) {
+	distinct := []Value{I(1), F(1), S("1"), Null(), S("")}
+	for i, a := range distinct {
+		for j, b := range distinct {
+			if i != j && a.MapKey() == b.MapKey() {
+				t.Errorf("%v and %v share a map key", a, b)
+			}
+		}
+	}
+}
+
+func TestMapKeyNormalizesFloats(t *testing.T) {
+	if F(math.NaN()).MapKey() != F(math.NaN()).MapKey() {
+		t.Error("NaN must be a single key")
+	}
+	if F(math.Copysign(0, -1)).MapKey() != F(0).MapKey() {
+		t.Error("-0 and +0 must be one key (Compare treats them equal)")
+	}
+	if F(math.NaN()).Hash() != F(math.NaN()).Hash() {
+		t.Error("NaN must hash consistently")
+	}
+	if F(math.Copysign(0, -1)).Hash() != F(0).Hash() {
+		t.Error("-0 and +0 must hash alike")
+	}
+}
+
+// TestHashNoCrossKindCollisions: distinct kinds carrying "the same" simple
+// payload must not collide on the 64-bit hash — the per-kind seeds keep
+// I(n), F(n) and S(strconv(n)) apart, and MapKey-equal values must agree.
+func TestHashNoCrossKindCollisions(t *testing.T) {
+	seen := map[uint64]Value{}
+	check := func(v Value) {
+		h := v.Hash()
+		if prev, ok := seen[h]; ok && prev.MapKey() != v.MapKey() {
+			t.Fatalf("hash collision: %v and %v both hash to %#x", prev, v, h)
+		}
+		seen[h] = v
+	}
+	check(Null())
+	check(S(""))
+	for n := int64(0); n < 1000; n++ {
+		check(I(n))
+		check(I(-n - 1))
+		check(F(float64(n)))
+		check(F(float64(n) + 0.5))
+		check(S(strconv.FormatInt(n, 10)))
+	}
+	// Hash must be a function of MapKey.
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 1000; i++ {
+		a, b := randomKeyValue(r), randomKeyValue(r)
+		if a.MapKey() == b.MapKey() && a.Hash() != b.Hash() {
+			t.Fatalf("%v and %v share a map key but hash differently", a, b)
+		}
+	}
+}

@@ -17,6 +17,16 @@ func NewTuple(id int64, cells ...Value) Tuple {
 	return Tuple{ID: id, Cells: cells}
 }
 
+// Hash returns a cheap 64-bit content hash of the tuple (ID plus every cell
+// value) for shuffle partitioning; it never materializes strings.
+func (t Tuple) Hash() uint64 {
+	h := mix64(uint64(t.ID) ^ 0xe7037ed1a0b428db)
+	for _, c := range t.Cells {
+		h = mix64(h ^ c.Hash())
+	}
+	return h
+}
+
 // Cell returns the i-th cell value; out-of-range indexes yield null, the
 // same leniency the paper's UDF operators rely on.
 func (t Tuple) Cell(i int) Value {

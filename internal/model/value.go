@@ -10,6 +10,7 @@ package model
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -86,8 +87,13 @@ func (v Value) String() string {
 	}
 }
 
-// Key returns a string key that is unique across kinds, suitable for hash
-// grouping where I(1) must not collide with S("1").
+// Key returns a string key that is unique across kinds, where I(1) does not
+// collide with S("1"). It allocates a string per call, so it survives only
+// for diagnostics and serialization boundaries (the disk-based MapReduce
+// backend shuffles string keys by design); hot grouping paths use the
+// comparable MapKey and the 64-bit Hash instead. Floats are normalized like
+// MapKey (-0 renders as 0, every NaN identically) so the two keyings induce
+// the same groups.
 func (v Value) Key() string {
 	switch v.Kind {
 	case KindNull:
@@ -97,10 +103,101 @@ func (v Value) Key() string {
 	case KindInt:
 		return "i|" + strconv.FormatInt(v.Int, 10)
 	case KindFloat:
-		return "f|" + strconv.FormatFloat(v.Flt, 'g', -1, 64)
+		return "f|" + strconv.FormatFloat(v.Normalize().Flt, 'g', -1, 64)
 	default:
 		return "?|"
 	}
+}
+
+// canonicalNaN is the single NaN bit pattern every NaN normalizes to, so
+// NaN-valued cells land in one group instead of each NaN being its own
+// never-equal key.
+var canonicalNaN = math.Float64frombits(0x7ff8000000000000)
+
+// Normalize returns the value with float edge cases canonicalized for
+// keying: -0 becomes +0 and every NaN becomes one fixed NaN bit pattern.
+// Without this a NaN map key would never equal itself (silently splitting a
+// group) and -0 would split from +0 even though Compare treats them equal.
+// Non-float values are returned unchanged.
+func (v Value) Normalize() Value {
+	if v.Kind == KindFloat {
+		if v.Flt != v.Flt {
+			v.Flt = canonicalNaN
+		} else if v.Flt == 0 {
+			v.Flt = 0 // collapses -0 to +0
+		}
+	}
+	return v
+}
+
+// ValueKey is the comparable grouping key of a Value: distinct kinds are
+// distinct keys (I(1), F(1) and S("1") never merge), floats are normalized
+// per Normalize and stored by bit pattern so NaN keys behave as ordinary map
+// keys. Use it wherever a Value keys a Go map or an engine shuffle; it
+// allocates nothing, unlike the string Key.
+type ValueKey struct {
+	Kind Kind
+	Str  string
+	Num  uint64
+}
+
+// MapKey returns the comparable grouping key of the value.
+func (v Value) MapKey() ValueKey {
+	switch v.Kind {
+	case KindString:
+		return ValueKey{Kind: KindString, Str: v.Str}
+	case KindInt:
+		return ValueKey{Kind: KindInt, Num: uint64(v.Int)}
+	case KindFloat:
+		return ValueKey{Kind: KindFloat, Num: math.Float64bits(v.Normalize().Flt)}
+	default:
+		return ValueKey{}
+	}
+}
+
+// Per-kind hash seeds keep simple values of different kinds (I(1), F(1),
+// S("1"), Null) from colliding in the 64-bit hash space.
+const (
+	hashSeedNull   = 0x9ae16a3b2f90404f
+	hashSeedString = 0xc949d7c7509e6557
+	hashSeedInt    = 0xff51afd7ed558ccd
+	hashSeedFloat  = 0xc4ceb9fe1a85ec53
+)
+
+// Hash returns a cheap 64-bit hash of the value for shuffle partitioning.
+// It never materializes a string, normalizes floats like MapKey, and mixes a
+// per-kind seed so distinct kinds hash apart. Equal MapKeys hash equal.
+func (v Value) Hash() uint64 {
+	switch v.Kind {
+	case KindString:
+		return hashBytes64(hashSeedString, v.Str)
+	case KindInt:
+		return mix64(uint64(v.Int) ^ hashSeedInt)
+	case KindFloat:
+		return mix64(math.Float64bits(v.Normalize().Flt) ^ hashSeedFloat)
+	default:
+		return mix64(hashSeedNull)
+	}
+}
+
+// hashBytes64 is FNV-1a over the string bytes, folded through mix64; the
+// seed keeps kinds apart. It allocates nothing.
+func hashBytes64(seed uint64, s string) uint64 {
+	h := uint64(14695981039346656037) ^ seed
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return mix64(h)
+}
+
+// mix64 is a finalizer-style bit mixer (splitmix64) spreading integer
+// payloads uniformly over the hash space.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // Float returns the value as a float64. Integers widen; strings parse if

@@ -103,7 +103,7 @@ func TestRDFAdvisorRuleEndToEnd(t *testing.T) {
 	rel := Pivot("students", ts, "student_in", "advised_by")
 	rule := &core.Rule{
 		ID:        "sameAdvisorSameUniv",
-		Block:     func(t model.Tuple) string { return t.Cell(2).Key() }, // advisor
+		Block:     func(t model.Tuple) model.Value { return t.Cell(2) }, // advisor
 		Symmetric: true,
 		Detect: func(it core.Item) []model.Violation {
 			l, r := it.Left(), it.Right()

@@ -41,13 +41,15 @@ func (d *DistributedEquivalenceClass) Repair(component []model.FixSet) ([]Assign
 	}
 
 	// Preprocessing (the "connected component ID" the paper's first map
-	// assumes available): union cells linked by equality fixes.
+	// assumes available): union cells linked by equality fixes. In-memory
+	// cell identity is the comparable key; strings appear only at the
+	// map-reduce serialization boundary below.
 	uf := graph.NewUnionFind()
-	idOf := map[string]int64{}
-	cells := map[string]model.Cell{}
+	idOf := map[model.CellKey]int64{}
+	cells := map[model.CellKey]model.Cell{}
 	next := int64(0)
 	intern := func(c model.Cell) int64 {
-		k := c.Key()
+		k := c.MapKey()
 		if id, ok := idOf[k]; ok {
 			return id
 		}
@@ -57,7 +59,7 @@ func (d *DistributedEquivalenceClass) Repair(component []model.FixSet) ([]Assign
 		next++
 		return idOf[k]
 	}
-	consts := map[string][]model.Value{} // cell key -> required constants
+	consts := map[model.CellKey][]model.Value{} // cell -> required constants
 	for _, fs := range component {
 		for _, c := range fs.Violation.Cells {
 			intern(c)
@@ -70,11 +72,11 @@ func (d *DistributedEquivalenceClass) Repair(component []model.FixSet) ([]Assign
 			if f.RightIsCell {
 				uf.Union(l, intern(f.RightCell))
 			} else {
-				consts[f.Left.Key()] = append(consts[f.Left.Key()], f.RightConst)
+				consts[f.Left.MapKey()] = append(consts[f.Left.MapKey()], f.RightConst)
 			}
 		}
 	}
-	classOf := func(k string) int64 { return uf.Find(idOf[k]) }
+	classOf := func(k model.CellKey) int64 { return uf.Find(idOf[k]) }
 
 	// ---- Job 1 input: one record per element: ccID value (value counted
 	// once per element, satisfying "if an element exists in multiple fixes,

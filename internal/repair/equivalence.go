@@ -29,12 +29,13 @@ type cellInfo struct {
 
 // Repair implements Algorithm.
 func (e *EquivalenceClass) Repair(component []model.FixSet) ([]Assignment, error) {
-	// Collect cells and union the ones equality fixes connect.
-	ids := map[string]*cellInfo{}
+	// Collect cells and union the ones equality fixes connect; cells are
+	// interned on their comparable key, never a rendered string.
+	ids := map[model.CellKey]*cellInfo{}
 	uf := graph.NewUnionFind()
 	next := int64(0)
 	intern := func(c model.Cell) *cellInfo {
-		k := c.Key()
+		k := c.MapKey()
 		if ci, ok := ids[k]; ok {
 			return ci
 		}
@@ -49,7 +50,7 @@ func (e *EquivalenceClass) Repair(component []model.FixSet) ([]Assignment, error
 		v     model.Value
 		count int
 	}
-	constVotes := map[string][]constVote{} // keyed by cell key pre-union; resolved later
+	constVotes := map[model.CellKey][]constVote{} // keyed by cell pre-union; resolved later
 
 	for _, fs := range component {
 		for _, c := range fs.Violation.Cells {
@@ -64,7 +65,7 @@ func (e *EquivalenceClass) Repair(component []model.FixSet) ([]Assignment, error
 				r := intern(f.RightCell)
 				uf.Union(l.id, r.id)
 			} else {
-				k := f.Left.Key()
+				k := f.Left.MapKey()
 				votes := constVotes[k]
 				found := false
 				for i := range votes {
@@ -110,13 +111,13 @@ func (e *EquivalenceClass) Repair(component []model.FixSet) ([]Assignment, error
 		}
 		for _, m := range members {
 			bump(m.cell.Value, 1)
-			for _, cv := range constVotes[m.cell.Key()] {
+			for _, cv := range constVotes[m.cell.MapKey()] {
 				// A constant requirement outweighs frequency: CFD constants
 				// are hard. Weight it above any possible member count.
 				bump(cv.v, cv.count+len(members))
 			}
 		}
-		if len(members) == 1 && len(constVotes[members[0].cell.Key()]) == 0 {
+		if len(members) == 1 && len(constVotes[members[0].cell.MapKey()]) == 0 {
 			continue // nothing requires this lone cell to change
 		}
 		// Pick the highest count; break ties by smaller rendered value so

@@ -44,19 +44,21 @@ func (h *Hypergraph) Repair(component []model.FixSet) ([]Assignment, error) {
 		maxCand = 32
 	}
 
-	// Current values and metadata per cell; per-cell violation index.
-	current := map[string]model.Value{}
-	meta := map[string]model.Cell{}
-	touching := map[string][]int{} // cell key -> indexes of fix sets whose FIXES reference it
+	// Current values and metadata per cell; per-cell violation index. All
+	// maps key on comparable model.CellKey structs, so indexing a cell never
+	// renders a string.
+	current := map[model.CellKey]model.Value{}
+	meta := map[model.CellKey]model.Cell{}
+	touching := map[model.CellKey][]int{} // cell -> indexes of fix sets whose FIXES reference it
 	for i, fs := range component {
 		for _, c := range fs.Violation.Cells {
-			current[c.Key()] = c.Value
-			meta[c.Key()] = c
+			current[c.MapKey()] = c.Value
+			meta[c.MapKey()] = c
 		}
-		seen := map[string]bool{}
+		seen := map[model.CellKey]bool{}
 		for _, f := range fs.Fixes {
 			for _, c := range f.Cells() {
-				k := c.Key()
+				k := c.MapKey()
 				current[k] = c.Value
 				meta[k] = c
 				if !seen[k] {
@@ -68,10 +70,10 @@ func (h *Hypergraph) Repair(component []model.FixSet) ([]Assignment, error) {
 	}
 
 	fixSatisfied := func(f model.Fix) bool {
-		l := current[f.Left.Key()]
+		l := current[f.Left.MapKey()]
 		r := f.RightConst
 		if f.RightIsCell {
-			r = current[f.RightCell.Key()]
+			r = current[f.RightCell.MapKey()]
 		}
 		return f.Op.Eval(l, r)
 	}
@@ -87,7 +89,7 @@ func (h *Hypergraph) Repair(component []model.FixSet) ([]Assignment, error) {
 	// Initial resolution state and per-cell degrees.
 	resolved := make([]bool, len(component))
 	unresolvedCount := 0
-	degree := map[string]int{}
+	degree := map[model.CellKey]int{}
 	for i, fs := range component {
 		if len(fs.Fixes) == 0 {
 			resolved[i] = true // unrepairable; not our problem
@@ -98,10 +100,10 @@ func (h *Hypergraph) Repair(component []model.FixSet) ([]Assignment, error) {
 			continue
 		}
 		unresolvedCount++
-		seen := map[string]bool{}
+		seen := map[model.CellKey]bool{}
 		for _, f := range fs.Fixes {
 			for _, c := range f.Cells() {
-				if k := c.Key(); !seen[k] {
+				if k := c.MapKey(); !seen[k] {
 					seen[k] = true
 					degree[k]++
 				}
@@ -110,19 +112,20 @@ func (h *Hypergraph) Repair(component []model.FixSet) ([]Assignment, error) {
 	}
 
 	var out []Assignment
-	assigned := map[string]bool{}
+	assigned := map[model.CellKey]bool{}
 	for unresolvedCount > 0 {
 		// Pick the unassigned cell with the highest degree.
-		pick, best := "", 0
+		var pick model.CellKey
+		best, havePick := 0, false
 		for k, d := range degree {
 			if assigned[k] || d <= 0 {
 				continue
 			}
-			if d > best || (d == best && k < pick) || pick == "" {
-				pick, best = k, d
+			if !havePick || d > best || (d == best && k.Less(pick)) {
+				pick, best, havePick = k, d, true
 			}
 		}
-		if pick == "" || best == 0 {
+		if !havePick || best == 0 {
 			break // nothing left that could resolve anything
 		}
 
@@ -174,10 +177,10 @@ func (h *Hypergraph) Repair(component []model.FixSet) ([]Assignment, error) {
 			if violationResolved(component[vi]) {
 				resolved[vi] = true
 				unresolvedCount--
-				seen := map[string]bool{}
+				seen := map[model.CellKey]bool{}
 				for _, f := range component[vi].Fixes {
 					for _, c := range f.Cells() {
-						if k := c.Key(); !seen[k] {
+						if k := c.MapKey(); !seen[k] {
 							seen[k] = true
 							degree[k]--
 						}
@@ -223,19 +226,18 @@ func sampleCandidates(cands []model.Value, max int) []model.Value {
 
 // candidateFor derives, from one fix, a value for cell key that would
 // satisfy the fix, if the fix references the cell.
-func (h *Hypergraph) candidateFor(key string, f model.Fix, current map[string]model.Value, eps float64) (model.Value, bool) {
-	other := func(c model.Cell) model.Value { return current[c.Key()] }
-	if f.Left.Key() == key {
+func (h *Hypergraph) candidateFor(key model.CellKey, f model.Fix, current map[model.CellKey]model.Value, eps float64) (model.Value, bool) {
+	if f.Left.MapKey() == key {
 		target := f.RightConst
 		if f.RightIsCell {
-			target = other(f.RightCell)
+			target = current[f.RightCell.MapKey()]
 		}
 		return valueSatisfying(f.Op, target, eps)
 	}
-	if f.RightIsCell && f.RightCell.Key() == key {
+	if f.RightIsCell && f.RightCell.MapKey() == key {
 		// key is the right operand: key must satisfy left op key, i.e.
 		// key flip(op) left.
-		return valueSatisfying(f.Op.Flip(), current[f.Left.Key()], eps)
+		return valueSatisfying(f.Op.Flip(), current[f.Left.MapKey()], eps)
 	}
 	return model.Value{}, false
 }

@@ -36,9 +36,10 @@ type Report struct {
 // the violations, in parallel (Section 5.1):
 //
 //  1. the fix sets form a hypergraph (nodes: elements; hyperedges: the
-//     elements of one violation plus its fixes);
-//  2. its connected components are computed with BSP label propagation
-//     (the GraphX step of Figure 7);
+//     elements of one violation plus its fixes) over comparable cell keys;
+//  2. its connected components are computed by interning the cells to dense
+//     integer IDs and running a lock-free union-find across the worker pool
+//     (the role GraphX's connectedComponents plays in Figure 7);
 //  3. each component becomes an independent repair instance;
 //  4. components larger than MaxComponentSize are split k-ways; the first
 //     part plays master and its changes are immutable — a slave assignment
@@ -61,22 +62,12 @@ func RepairParallel(fixSets []model.FixSet, algo Algorithm, opts Options) ([]Ass
 		return nil, report, nil
 	}
 
-	// 1. Hypergraph.
-	edges := make([]graph.Hyperedge, len(fixSets))
-	for i, fs := range fixSets {
-		edges[i] = graph.Hyperedge{ID: int64(i), Nodes: cellsOfFixSet(fs)}
-	}
-	hg := graph.NewHypergraph(edges)
-
-	// 2. Connected components (BSP).
-	cc, err := hg.ConnectedComponents(opts.Parallelism)
-	if err != nil {
-		return nil, nil, fmt.Errorf("repair: connected components: %w", err)
-	}
+	// 1-2. Connected components over interned cell IDs (parallel
+	// union-find); the per-fix-set cell keys are reused for splitting.
+	cc, cellKeys := fixSetComponents(fixSets, opts.Parallelism)
 	byComp := map[int64][]int{}
 	for i := range fixSets {
-		comp := cc[int64(i)]
-		byComp[comp] = append(byComp[comp], i)
+		byComp[cc[i]] = append(byComp[cc[i]], i)
 	}
 	report.Components = len(byComp)
 
@@ -104,12 +95,14 @@ func RepairParallel(fixSets []model.FixSet, algo Algorithm, opts Options) ([]Ass
 				}
 			}()
 			comp := make([]model.FixSet, len(byComp[compID]))
+			keys := make([][]model.CellKey, len(byComp[compID]))
 			for j, fi := range byComp[compID] {
 				comp[j] = fixSets[fi]
+				keys[j] = cellKeys[fi]
 			}
 			if opts.MaxComponentSize > 0 && len(comp) > opts.MaxComponentSize {
 				splits[slot] = true
-				as, conflicts, err := repairSplit(comp, algo, opts)
+				as, conflicts, err := repairSplit(comp, keys, algo, opts)
 				report.Conflicts += conflicts
 				results[slot], errs[slot] = as, err
 				return
@@ -137,27 +130,32 @@ func RepairParallel(fixSets []model.FixSet, algo Algorithm, opts Options) ([]Ass
 
 // repairSplit handles one oversized component: split it k-ways with the
 // greedy hypergraph partitioner, run the algorithm per part, and reconcile
-// under the master-immutable protocol.
-func repairSplit(comp []model.FixSet, algo Algorithm, opts Options) ([]Assignment, int, error) {
-	edges := make([]graph.Hyperedge, len(comp))
-	for i, fs := range comp {
-		edges[i] = graph.Hyperedge{ID: int64(i), Nodes: cellsOfFixSet(fs)}
+// under the master-immutable protocol. keys carries each fix set's cell
+// keys, parallel to comp.
+func repairSplit(comp []model.FixSet, keys [][]model.CellKey, algo Algorithm, opts Options) ([]Assignment, int, error) {
+	edges := make([]graph.HyperedgeOf[model.CellKey], len(comp))
+	for i := range comp {
+		edges[i] = graph.HyperedgeOf[model.CellKey]{ID: int64(i), Nodes: keys[i]}
 	}
-	parts := graph.NewHypergraph(edges).PartitionKWay(opts.KParts)
+	parts := graph.NewHypergraphOf(edges).PartitionKWay(opts.KParts)
 
 	// immutable holds settled cell values; once a cell lands here it can
 	// never change, which guarantees the loop reaches a fixpoint.
-	immutable := map[string]model.Value{}
+	immutable := map[model.CellKey]model.Value{}
 	var accepted []Assignment
 	conflicts := 0
 
 	pending := make([][]model.FixSet, len(parts))
+	pendingKeys := make([][][]model.CellKey, len(parts))
 	for pi, part := range parts {
 		sub := make([]model.FixSet, len(part))
+		subKeys := make([][]model.CellKey, len(part))
 		for j, e := range part {
 			sub[j] = comp[e.ID]
+			subKeys[j] = keys[e.ID]
 		}
 		pending[pi] = sub
+		pendingKeys[pi] = subKeys
 	}
 
 	for iter := 0; iter < opts.MaxReconcileIters; iter++ {
@@ -173,18 +171,20 @@ func repairSplit(comp []model.FixSet, algo Algorithm, opts Options) ([]Assignmen
 				return nil, conflicts, err
 			}
 			var redo []model.FixSet
-			conflicted := map[string]bool{}
+			var redoKeys [][]model.CellKey
+			conflicted := map[model.CellKey]bool{}
 			for _, a := range as {
-				if v, settled := immutable[a.Key()]; settled {
+				k := a.CellKey()
+				if v, settled := immutable[k]; settled {
 					if !v.Equal(a.Value) {
 						// Contradicts an immutable (master/earlier) change:
 						// undo and retry next iteration.
 						conflicts++
-						conflicted[a.Key()] = true
+						conflicted[k] = true
 					}
 					continue
 				}
-				immutable[a.Key()] = a.Value
+				immutable[k] = a.Value
 				accepted = append(accepted, a)
 				progressed = true
 			}
@@ -192,16 +192,18 @@ func repairSplit(comp []model.FixSet, algo Algorithm, opts Options) ([]Assignmen
 				// Re-queue the fix sets whose repairs were undone, with the
 				// settled values substituted in so the retry proposes
 				// repairs consistent with the master's choices.
-				for _, fs := range pending[pi] {
-					for _, k := range cellsOfFixSet(fs) {
+				for fi, fs := range pending[pi] {
+					for _, k := range pendingKeys[pi][fi] {
 						if conflicted[k] {
 							redo = append(redo, substituteSettled(fs, immutable))
+							redoKeys = append(redoKeys, pendingKeys[pi][fi])
 							break
 						}
 					}
 				}
 			}
 			pending[pi] = redo
+			pendingKeys[pi] = redoKeys
 		}
 		if !anyPending {
 			break
@@ -219,9 +221,9 @@ func repairSplit(comp []model.FixSet, algo Algorithm, opts Options) ([]Assignmen
 // substituteSettled rewrites a fix set so every cell that has a settled
 // (immutable) value carries it, letting a retried repair instance reason
 // from the master's state instead of the stale captured values.
-func substituteSettled(fs model.FixSet, settled map[string]model.Value) model.FixSet {
+func substituteSettled(fs model.FixSet, settled map[model.CellKey]model.Value) model.FixSet {
 	subCell := func(c model.Cell) model.Cell {
-		if v, ok := settled[c.Key()]; ok {
+		if v, ok := settled[c.MapKey()]; ok {
 			c.Value = v
 		}
 		return c

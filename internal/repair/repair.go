@@ -10,7 +10,7 @@ package repair
 
 import (
 	"fmt"
-	"sort"
+	"strconv"
 
 	"bigdansing/internal/model"
 )
@@ -23,8 +23,16 @@ type Assignment struct {
 	Value   model.Value
 }
 
-// Key identifies the assigned cell.
-func (a Assignment) Key() string { return fmt.Sprintf("%d#%d", a.TupleID, a.Col) }
+// CellKey identifies the assigned cell as a comparable key — the form the
+// hot paths (Apply, dedupe, freezing) group on.
+func (a Assignment) CellKey() model.CellKey {
+	return model.CellKey{TupleID: a.TupleID, Col: a.Col}
+}
+
+// Key renders the assigned cell's identity for diagnostics and logs.
+func (a Assignment) Key() string {
+	return strconv.FormatInt(a.TupleID, 10) + "#" + strconv.Itoa(a.Col)
+}
 
 // String renders the assignment.
 func (a Assignment) String() string {
@@ -45,11 +53,11 @@ type Algorithm interface {
 // Apply materializes assignments into the relation, skipping cells in
 // frozen (the termination device of Section 2.2). It returns the number of
 // cells actually changed.
-func Apply(rel *model.Relation, assignments []Assignment, frozen map[string]bool) int {
+func Apply(rel *model.Relation, assignments []Assignment, frozen map[model.CellKey]bool) int {
 	idx := rel.ByID()
 	changed := 0
 	for _, a := range assignments {
-		if frozen != nil && frozen[a.Key()] {
+		if frozen != nil && frozen[a.CellKey()] {
 			continue
 		}
 		if rel.Apply(idx, a.TupleID, a.Col, a.Value) {
@@ -89,39 +97,16 @@ func Cost(rel *model.Relation, assignments []Assignment, dis DistanceFunc) float
 	return total
 }
 
-// cellsOfFixSet collects the distinct cell keys a fix set touches — the
-// nodes its hyperedge covers (violation cells plus fix cells).
-func cellsOfFixSet(fs model.FixSet) []string {
-	seen := map[string]bool{}
-	var out []string
-	add := func(c model.Cell) {
-		k := c.Key()
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, k)
-		}
-	}
-	for _, c := range fs.Violation.Cells {
-		add(c)
-	}
-	for _, f := range fs.Fixes {
-		for _, c := range f.Cells() {
-			add(c)
-		}
-	}
-	sort.Strings(out)
-	return out
-}
-
 // dedupeAssignments keeps the first assignment per cell.
 func dedupeAssignments(as []Assignment) []Assignment {
-	seen := map[string]bool{}
+	seen := make(map[model.CellKey]bool, len(as))
 	out := as[:0]
 	for _, a := range as {
-		if seen[a.Key()] {
+		k := a.CellKey()
+		if seen[k] {
 			continue
 		}
-		seen[a.Key()] = true
+		seen[k] = true
 		out = append(out, a)
 	}
 	return out

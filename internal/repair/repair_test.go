@@ -321,7 +321,7 @@ func TestApplyRespectsFrozenCells(t *testing.T) {
 		{TupleID: 1, Col: 0, Attr: "a", Value: model.S("new")},
 		{TupleID: 1, Col: 1, Attr: "b", Value: model.S("new")},
 	}
-	frozen := map[string]bool{"1#0": true}
+	frozen := map[model.CellKey]bool{{TupleID: 1, Col: 0}: true}
 	changed := Apply(rel, as, frozen)
 	if changed != 1 {
 		t.Errorf("changed = %d, want 1", changed)

@@ -49,11 +49,11 @@ func (s *Sampling) Repair(component []model.FixSet) ([]Assignment, error) {
 		cell model.Cell
 		id   int64
 	}
-	ids := map[string]*cellInfo{}
+	ids := map[model.CellKey]*cellInfo{}
 	uf := graph.NewUnionFind()
 	next := int64(0)
 	intern := func(c model.Cell) *cellInfo {
-		k := c.Key()
+		k := c.MapKey()
 		if ci, ok := ids[k]; ok {
 			return ci
 		}
@@ -63,7 +63,7 @@ func (s *Sampling) Repair(component []model.FixSet) ([]Assignment, error) {
 		uf.Add(ci.id)
 		return ci
 	}
-	consts := map[string][]model.Value{}
+	consts := map[model.CellKey][]model.Value{}
 	for _, fs := range component {
 		for _, c := range fs.Violation.Cells {
 			intern(c)
@@ -76,7 +76,7 @@ func (s *Sampling) Repair(component []model.FixSet) ([]Assignment, error) {
 			if f.RightIsCell {
 				uf.Union(l.id, intern(f.RightCell).id)
 			} else {
-				consts[f.Left.Key()] = append(consts[f.Left.Key()], f.RightConst)
+				consts[f.Left.MapKey()] = append(consts[f.Left.MapKey()], f.RightConst)
 			}
 		}
 	}
@@ -120,7 +120,7 @@ func (s *Sampling) Repair(component []model.FixSet) ([]Assignment, error) {
 			}
 			for _, m := range members {
 				bumpIn(&cands, m.cell.Value, 1)
-				for _, cv := range consts[m.cell.Key()] {
+				for _, cv := range consts[m.cell.MapKey()] {
 					bumpIn(&constCands, cv, 1)
 				}
 			}

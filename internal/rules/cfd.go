@@ -176,15 +176,11 @@ func (cfd *CFD) Compile(schema *model.Schema) ([]*core.Rule, error) {
 		rows := varRows
 		out = append(out, &core.Rule{
 			ID: ruleID + "/var",
-			Block: func(t model.Tuple) string {
-				var b strings.Builder
-				for i, c := range lhsIdx {
-					if i > 0 {
-						b.WriteByte('\x1f')
-					}
-					b.WriteString(t.Cell(c).Key())
+			Block: func(t model.Tuple) model.Value {
+				if len(lhsIdx) == 1 {
+					return t.Cell(lhsIdx[0])
 				}
-				return b.String()
+				return compositeKey(t, lhsIdx)
 			},
 			Symmetric: true,
 			Detect: func(it core.Item) []model.Violation {

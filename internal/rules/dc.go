@@ -344,15 +344,11 @@ func (dc *DC) Compile(schema *model.Schema) (*core.Rule, error) {
 			}
 		}
 		keyOf := func(cols []int) core.BlockFunc {
-			return func(t model.Tuple) string {
-				var b strings.Builder
-				for i, c := range cols {
-					if i > 0 {
-						b.WriteByte('\x1f')
-					}
-					b.WriteString(t.Cell(c).Key())
+			return func(t model.Tuple) model.Value {
+				if len(cols) == 1 {
+					return t.Cell(cols[0])
 				}
-				return b.String()
+				return compositeKey(t, cols)
 			}
 		}
 		rule.Block = keyOf(leftCols)

@@ -85,18 +85,13 @@ func (fd *FD) Compile(schema *model.Schema) (*core.Rule, error) {
 	return &core.Rule{
 		ID:        ruleID,
 		BlockAttr: blockAttr,
-		Block: func(t model.Tuple) string {
+		Block: func(t model.Tuple) model.Value {
+			// Single-attribute LHS (the common case): the cell value itself
+			// is the block key — no per-record string is built.
 			if len(lhsIdx) == 1 {
-				return t.Cell(lhsIdx[0]).Key()
+				return t.Cell(lhsIdx[0])
 			}
-			var b strings.Builder
-			for i, c := range lhsIdx {
-				if i > 0 {
-					b.WriteByte('\x1f')
-				}
-				b.WriteString(t.Cell(c).Key())
-			}
-			return b.String()
+			return compositeKey(t, lhsIdx)
 		},
 		Symmetric: true,
 		Detect: func(it core.Item) []model.Violation {
@@ -127,6 +122,21 @@ func (fd *FD) Compile(schema *model.Schema) (*core.Rule, error) {
 			return []model.Fix{model.NewCellFix(v.Cells[0], model.OpEQ, v.Cells[1])}
 		},
 	}, nil
+}
+
+// compositeKey renders a multi-attribute blocking key into one string
+// value: kind-tagged cell keys joined with a separator, so composite blocks
+// stay distinct across kinds. Single-attribute blocks should return the
+// cell value directly instead and skip the allocation.
+func compositeKey(t model.Tuple, cols []int) model.Value {
+	var b strings.Builder
+	for i, c := range cols {
+		if i > 0 {
+			b.WriteByte('\x1f')
+		}
+		b.WriteString(t.Cell(c).Key())
+	}
+	return model.S(b.String())
 }
 
 // resolveAttrs maps attribute names to column indexes.

@@ -62,16 +62,16 @@ func DedupRule(cfg DedupConfig, schema *model.Schema) (*core.Rule, error) {
 
 	return &core.Rule{
 		ID: ruleID,
-		Block: func(t model.Tuple) string {
+		Block: func(t model.Tuple) model.Value {
 			name := t.Cell(nameCol).String()
 			if cfg.BlockBySoundex {
-				return simfn.Soundex(name)
+				return model.S(simfn.Soundex(name))
 			}
 			name = strings.ToLower(name)
 			if len(name) > 3 {
 				name = name[:3]
 			}
-			return name
+			return model.S(name)
 		},
 		Symmetric: true,
 		Detect: func(it core.Item) []model.Violation {
@@ -131,8 +131,8 @@ func CountyRule(id string, schema *model.Schema, nameAttr, cityAttr string, coun
 	return &core.Rule{
 		ID: id,
 		// Block on county so only same-county candidates pair up.
-		Block: func(t model.Tuple) string {
-			return getCounty(t.Cell(cityCol).String())
+		Block: func(t model.Tuple) model.Value {
+			return model.S(getCounty(t.Cell(cityCol).String()))
 		},
 		Symmetric: true,
 		Detect: func(it core.Item) []model.Violation {

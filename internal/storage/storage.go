@@ -83,7 +83,7 @@ func (s *Store) Upload(rel *model.Relation, partAttr string, nParts int) (*Uploa
 	for i, t := range rel.Tuples {
 		p := i % nParts
 		if partCol >= 0 {
-			p = int(hashString(t.Cell(partCol).Key()) % uint64(nParts))
+			p = int(t.Cell(partCol).Hash() % uint64(nParts))
 		}
 		parts[p] = append(parts[p], t)
 	}
@@ -216,8 +216,10 @@ type ReadOptions struct {
 	Partition int
 	// BlockKey, with a content-partitioned replica, reads only the
 	// partition that can contain the given partition-attribute value (the
-	// Block pushdown). Empty disables it.
-	BlockKey string
+	// Block pushdown). The value is hashed exactly like the partitioner at
+	// upload time (Value.Hash), so no string key is rendered on either
+	// side. Nil disables it.
+	BlockKey *model.Value
 }
 
 // Read materializes (part of) a replica according to opts.
@@ -248,11 +250,11 @@ func (s *Store) Read(name, partAttr string, opts ReadOptions) (*model.Relation, 
 
 	partsToRead := make([]int, 0, plan.Partitions)
 	switch {
-	case opts.BlockKey != "":
+	case opts.BlockKey != nil:
 		if plan.PartitionAttr == "" {
 			return nil, fmt.Errorf("storage: block pushdown needs a content-partitioned replica")
 		}
-		partsToRead = append(partsToRead, int(hashString(opts.BlockKey)%uint64(plan.Partitions)))
+		partsToRead = append(partsToRead, int(opts.BlockKey.Hash()%uint64(plan.Partitions)))
 	case opts.Partition >= 0:
 		if opts.Partition >= plan.Partitions {
 			return nil, fmt.Errorf("storage: partition %d out of range (%d)", opts.Partition, plan.Partitions)
@@ -333,16 +335,6 @@ func readColumn(path string, n int) ([]model.Value, error) {
 		return nil, fmt.Errorf("storage: column file %s has %d values, want %d", path, len(out), n)
 	}
 	return out, nil
-}
-
-// hashString is FNV-1a, matching the partitioner used at upload time.
-func hashString(s string) uint64 {
-	var h uint64 = 14695981039346656037
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= 1099511628211
-	}
-	return h
 }
 
 func appendUvarint(buf []byte, v uint64) []byte {

@@ -87,8 +87,8 @@ func TestBlockPushdownReadsOnePartition(t *testing.T) {
 	if _, err := st.Upload(rel, "zipcode", 5); err != nil {
 		t.Fatal(err)
 	}
-	key := model.I(10003).Key()
-	got, err := st.Read("tax", "zipcode", ReadOptions{BlockKey: key, Partition: -1})
+	key := model.I(10003)
+	got, err := st.Read("tax", "zipcode", ReadOptions{BlockKey: &key, Partition: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +118,8 @@ func TestBlockPushdownRequiresContentPartitioning(t *testing.T) {
 	st, _ := Open(t.TempDir())
 	rel := sampleRel(10)
 	st.Upload(rel, "", 2)
-	if _, err := st.Read("tax", "", ReadOptions{BlockKey: "x", Partition: -1}); err == nil {
+	bk := model.S("x")
+	if _, err := st.Read("tax", "", ReadOptions{BlockKey: &bk, Partition: -1}); err == nil {
 		t.Error("block pushdown on round-robin replica should fail")
 	}
 }
