@@ -3,7 +3,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench test-spill
 
 check: fmt vet build test race
 
@@ -25,6 +25,15 @@ test:
 
 race:
 	$(GO) test -race ./internal/engine/... ./internal/repair/...
+
+# Out-of-core subsystem: the spill package plus every test exercising the
+# budgeted (spill-to-disk) regime of the engine, core e2e and the CLI flag.
+test-spill:
+	$(GO) test ./internal/spill/...
+	$(GO) test -run 'External|Spill|OutOfCore|Codec|MemBudget|ParseByteSize' \
+		./internal/engine/ ./internal/core/ ./internal/model/ ./cmd/bigdansing/
+	$(GO) test -race -run 'External|Spill' ./internal/engine/
+	$(GO) test -race ./internal/spill/...
 
 bench:
 	$(GO) test -run xxx -bench 'Table2Datasets|Fig9' -benchtime 1x -benchmem .

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"bigdansing/internal/cleanse"
@@ -37,18 +38,20 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bigdansing", flag.ContinueOnError)
 	var (
-		input    = fs.String("input", "", "input CSV file (required)")
-		schema   = fs.String("schema", "", "schema, e.g. 'name,zipcode:int,rate:float' (required)")
-		header   = fs.Bool("header", false, "input has a header row")
-		mode     = fs.String("mode", "detect", "detect | clean | explain")
-		outPath  = fs.String("out", "", "output CSV for the repaired data (clean mode)")
-		workers  = fs.Int("workers", 8, "parallelism of the dataflow backend")
-		algoName = fs.String("repair", "eq", "repair algorithm: eq (equivalence class) | hypergraph | sampling")
-		parallel = fs.Bool("parallel-repair", false, "use the parallel black-box repair (Section 5.1)")
-		maxIter  = fs.Int("max-iterations", 10, "bound on the detect-repair loop")
-		verbose  = fs.Bool("v", false, "print every violation")
-		stats    = fs.Bool("stats", false, "print the per-stage dataflow execution breakdown")
-		vioOut   = fs.String("violations-out", "", "write the violation report (with possible fixes) to this CSV")
+		input     = fs.String("input", "", "input CSV file (required)")
+		schema    = fs.String("schema", "", "schema, e.g. 'name,zipcode:int,rate:float' (required)")
+		header    = fs.Bool("header", false, "input has a header row")
+		mode      = fs.String("mode", "detect", "detect | clean | explain")
+		outPath   = fs.String("out", "", "output CSV for the repaired data (clean mode)")
+		workers   = fs.Int("workers", 8, "parallelism of the dataflow backend")
+		algoName  = fs.String("repair", "eq", "repair algorithm: eq (equivalence class) | hypergraph | sampling")
+		parallel  = fs.Bool("parallel-repair", false, "use the parallel black-box repair (Section 5.1)")
+		maxIter   = fs.Int("max-iterations", 10, "bound on the detect-repair loop")
+		verbose   = fs.Bool("v", false, "print every violation")
+		stats     = fs.Bool("stats", false, "print the per-stage dataflow execution breakdown")
+		vioOut    = fs.String("violations-out", "", "write the violation report (with possible fixes) to this CSV")
+		memBudget = fs.String("mem-budget", "", "memory budget for wide operators, e.g. 64MiB or 512K; shuffles spill to disk past it (default: unbounded)")
+		spillDir  = fs.String("spill-dir", "", "directory for spill run files (default: the system temp dir)")
 	)
 	var fds, dcs, cfds, dedups multiFlag
 	fs.Var(&fds, "fd", "functional dependency, e.g. 'zipcode -> city' (repeatable)")
@@ -120,7 +123,15 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("no rules given; use -fd, -dc, -cfd or -dedup")
 	}
 
-	ctx := engine.New(*workers)
+	budget, err := parseByteSize(*memBudget)
+	if err != nil {
+		return fmt.Errorf("-mem-budget: %w", err)
+	}
+	ctx := engine.NewWithConfig(engine.Config{
+		Parallelism:       *workers,
+		MemoryBudgetBytes: budget,
+		SpillDir:          *spillDir,
+	})
 	if *stats {
 		defer func() {
 			fmt.Fprintf(out, "\ndataflow stages:\n%s", ctx.Stats().Snapshot())
@@ -202,6 +213,44 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
+}
+
+// parseByteSize parses a human-readable byte count such as "65536", "512K",
+// "64MB" or "1GiB" (decimal and binary suffixes are treated alike, as
+// powers of 1024). An empty string means no budget (unbounded).
+func parseByteSize(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	u := strings.ToUpper(s)
+	mult := int64(1)
+	for _, suf := range []struct {
+		name string
+		mult int64
+	}{
+		{"KIB", 1 << 10}, {"KB", 1 << 10}, {"K", 1 << 10},
+		{"MIB", 1 << 20}, {"MB", 1 << 20}, {"M", 1 << 20},
+		{"GIB", 1 << 30}, {"GB", 1 << 30}, {"G", 1 << 30},
+		{"B", 1},
+	} {
+		if strings.HasSuffix(u, suf.name) {
+			mult = suf.mult
+			u = strings.TrimSuffix(u, suf.name)
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(u), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid byte size %q", s)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("byte size %q is negative", s)
+	}
+	if mult > 1 && n > (1<<62)/mult {
+		return 0, fmt.Errorf("byte size %q overflows", s)
+	}
+	return n * mult, nil
 }
 
 // multiFlag collects repeatable string flags.

@@ -2,8 +2,10 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -174,6 +176,99 @@ func TestDedupFlag(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "violations:") {
 		t.Errorf("dedup output: %s", out.String())
+	}
+}
+
+func TestParseByteSize(t *testing.T) {
+	good := map[string]int64{
+		"":      0,
+		"0":     0,
+		"65536": 65536,
+		"64K":   64 << 10,
+		"64KB":  64 << 10,
+		"64KiB": 64 << 10,
+		"8M":    8 << 20,
+		"8MB":   8 << 20,
+		"8MiB":  8 << 20,
+		"2G":    2 << 30,
+		"2GiB":  2 << 30,
+		"512B":  512,
+		" 1 K ": 1 << 10,
+	}
+	for in, want := range good {
+		got, err := parseByteSize(in)
+		if err != nil {
+			t.Errorf("parseByteSize(%q): %v", in, err)
+		} else if got != want {
+			t.Errorf("parseByteSize(%q) = %d, want %d", in, got, want)
+		}
+	}
+	for _, in := range []string{"abc", "-1K", "12Q", "9999999999999G"} {
+		if _, err := parseByteSize(in); err == nil {
+			t.Errorf("parseByteSize(%q) should fail", in)
+		}
+	}
+}
+
+// writeBigTaxCSV generates enough rows that a small -mem-budget forces the
+// detection shuffles out of core.
+func writeBigTaxCSV(t *testing.T, rows int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bigtax.csv")
+	var b strings.Builder
+	for i := 0; i < rows; i++ {
+		zip := 10000 + i%97
+		city := "C" + strconv.Itoa(zip)
+		if i%31 == 0 {
+			city = "X" + strconv.Itoa(i) // FD violations
+		}
+		fmt.Fprintf(&b, "p%d,%d,%s,S%d,%d,%d\n", i, zip, city, zip, 20000+i, 2+i%40)
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestMemBudgetFlagSpills(t *testing.T) {
+	input := writeBigTaxCSV(t, 4000)
+	spillDir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{
+		"-input", input, "-schema", taxSchema,
+		"-fd", "zipcode -> city",
+		"-mode", "detect", "-stats",
+		"-mem-budget", "32K", "-spill-dir", spillDir,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "violations:") {
+		t.Fatalf("detect output missing:\n%s", text)
+	}
+	if !strings.Contains(text, "spill:") {
+		t.Fatalf("-stats should report spill activity under a 32K budget:\n%s", text)
+	}
+	entries, err := os.ReadDir(spillDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("leftover spill files: %d entries", len(entries))
+	}
+}
+
+func TestMemBudgetFlagRejectsJunk(t *testing.T) {
+	input := writeTaxCSV(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-input", input, "-schema", taxSchema,
+		"-fd", "zipcode -> city",
+		"-mem-budget", "lots",
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "mem-budget") {
+		t.Fatalf("junk -mem-budget should fail, got %v", err)
 	}
 }
 

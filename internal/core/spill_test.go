@@ -1,0 +1,180 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"bigdansing/internal/datagen"
+	"bigdansing/internal/engine"
+	"bigdansing/internal/model"
+)
+
+// End-to-end out-of-core cleansing: with a memory budget far below the
+// shuffle working set, FD and DC detection must spill to disk yet produce
+// exactly the violations and fixes of an unbounded run, never reserve past
+// the budget, and leave no spill files behind.
+
+// spillBudget is well below the encoded size of the generated datasets'
+// shuffles, so every wide operator is forced out of core.
+const spillBudget = 64 << 10
+
+func violationCounts(vs []model.Violation) map[model.ViolationKey]int {
+	m := make(map[model.ViolationKey]int, len(vs))
+	for _, v := range vs {
+		m[v.MapKey()]++
+	}
+	return m
+}
+
+func fixCounts(fs []model.Fix) map[model.Fix]int {
+	m := make(map[model.Fix]int, len(fs))
+	for _, f := range fs {
+		m[f]++
+	}
+	return m
+}
+
+// runDetect executes the rules over rel on a fresh context, returning the
+// result and the context for stats inspection.
+func runDetect(t *testing.T, cfg engine.Config, rules []*Rule, rel *model.Relation) (*DetectResult, *engine.Context) {
+	t.Helper()
+	ctx := engine.NewWithConfig(cfg)
+	res, err := DetectRules(ctx, rules, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, ctx
+}
+
+func assertSameOutcome(t *testing.T, want, got *DetectResult) {
+	t.Helper()
+	// The external shuffle visits groups in merge order, not first-seen
+	// order, so results are compared as multisets.
+	wv, gv := violationCounts(want.Violations), violationCounts(got.Violations)
+	if len(wv) != len(gv) || len(want.Violations) != len(got.Violations) {
+		t.Fatalf("violations diverged: %d distinct/%d total vs %d distinct/%d total",
+			len(gv), len(got.Violations), len(wv), len(want.Violations))
+	}
+	for k, n := range wv {
+		if gv[k] != n {
+			t.Fatalf("violation %v: count %d != %d", k, gv[k], n)
+		}
+	}
+	wf, gf := fixCounts(want.AllFixes()), fixCounts(got.AllFixes())
+	if len(wf) != len(gf) {
+		t.Fatalf("fix sets diverged: %d distinct vs %d distinct", len(gf), len(wf))
+	}
+	for f, n := range wf {
+		if gf[f] != n {
+			t.Fatalf("fix %v: count %d != %d", f, gf[f], n)
+		}
+	}
+}
+
+func assertSpilledWithinBudget(t *testing.T, ctx *engine.Context, budget int64, dir string) {
+	t.Helper()
+	sn := ctx.Stats().Snapshot()
+	if sn.BytesSpilled == 0 || sn.SpillRuns == 0 {
+		t.Fatalf("budget %d should have forced spilling, stats: %+v", budget, sn)
+	}
+	if sn.PeakReservedBytes > budget {
+		t.Fatalf("peak reserved %d exceeds budget %d", sn.PeakReservedBytes, budget)
+	}
+	if r := ctx.MemoryManager().Reserved(); r != 0 {
+		t.Fatalf("leaked reservation: %d bytes", r)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("leftover spill files in %s: %d entries", dir, len(entries))
+	}
+}
+
+func TestFDDetectionOutOfCoreMatchesUnbounded(t *testing.T) {
+	tr := datagen.TaxA(4000, 0.05, 1)
+
+	want, _ := runDetect(t, engine.Config{Parallelism: 4}, []*Rule{fdRule()}, tr.Dirty)
+	if want.NumViolations() == 0 {
+		t.Fatal("generator produced no FD violations; test is vacuous")
+	}
+
+	dir := t.TempDir()
+	cfg := engine.Config{Parallelism: 4, MemoryBudgetBytes: spillBudget, SpillDir: dir}
+	got, ctx := runDetect(t, cfg, []*Rule{fdRule()}, tr.Dirty)
+
+	assertSpilledWithinBudget(t, ctx, spillBudget, dir)
+	assertSameOutcome(t, want, got)
+}
+
+func TestDCDetectionOutOfCoreMatchesUnbounded(t *testing.T) {
+	tr := datagen.TaxB(1500, 0.05, 2)
+
+	want, _ := runDetect(t, engine.Config{Parallelism: 4}, []*Rule{dcRule()}, tr.Dirty)
+	if want.NumViolations() == 0 {
+		t.Fatal("generator produced no DC violations; test is vacuous")
+	}
+
+	dir := t.TempDir()
+	cfg := engine.Config{Parallelism: 4, MemoryBudgetBytes: spillBudget, SpillDir: dir}
+	got, ctx := runDetect(t, cfg, []*Rule{dcRule()}, tr.Dirty)
+
+	assertSpilledWithinBudget(t, ctx, spillBudget, dir)
+	assertSameOutcome(t, want, got)
+}
+
+func TestCombinedRulesOutOfCoreMatchesUnbounded(t *testing.T) {
+	// Both rule shapes through one consolidated plan, the Table-2 style
+	// mixed workload: FD via blocking GroupByKey, DC via OCJoin's range
+	// partitioning — every wide operator class spills in one run.
+	tr := datagen.TaxB(1200, 0.08, 3)
+	rules := []*Rule{fdRule(), dcRule()}
+
+	want, _ := runDetect(t, engine.Config{Parallelism: 4}, rules, tr.Dirty)
+	if want.NumViolations() == 0 {
+		t.Fatal("no violations; test is vacuous")
+	}
+
+	dir := t.TempDir()
+	cfg := engine.Config{Parallelism: 4, MemoryBudgetBytes: spillBudget, SpillDir: dir}
+	got, ctx := runDetect(t, cfg, rules, tr.Dirty)
+
+	assertSpilledWithinBudget(t, ctx, spillBudget, dir)
+	assertSameOutcome(t, want, got)
+}
+
+// TestDetectPanicUnderBudgetCleansUp drives the operator-panic path through
+// the full stack: a Detect that panics mid-stream while the shuffle is
+// spilled must surface as an error, release every reservation, and leave
+// the spill directory empty.
+func TestDetectPanicUnderBudgetCleansUp(t *testing.T) {
+	tr := datagen.TaxA(3000, 0.05, 4)
+	bad := fdRule()
+	calls := 0
+	inner := bad.Detect
+	bad.Detect = func(it Item) []model.Violation {
+		calls++
+		if calls > 500 {
+			panic("detect exploded")
+		}
+		return inner(it)
+	}
+
+	dir := t.TempDir()
+	ctx := engine.NewWithConfig(engine.Config{Parallelism: 4, MemoryBudgetBytes: spillBudget, SpillDir: dir})
+	_, err := DetectRules(ctx, []*Rule{bad}, tr.Dirty)
+	if err == nil {
+		t.Fatal("expected the detect panic to surface as an error")
+	}
+	if r := ctx.MemoryManager().Reserved(); r != 0 {
+		t.Fatalf("leaked reservation after panic: %d bytes", r)
+	}
+	entries, rerr := os.ReadDir(dir)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("leftover spill files after panic: %d entries", len(entries))
+	}
+}

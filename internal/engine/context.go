@@ -36,6 +36,7 @@ package engine
 import (
 	"fmt"
 	"hash/maphash"
+	"os"
 	"runtime"
 	"sort"
 	"strconv"
@@ -43,6 +44,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"bigdansing/internal/spill"
 )
 
 // Stats accumulates execution counters for one Context: cheap atomic
@@ -61,6 +64,12 @@ type Stats struct {
 	stages          atomic.Int64
 	recordsShuffled atomic.Int64
 	recordsRead     atomic.Int64
+
+	// Out-of-core counters, fed by the external (spilling) wide operators.
+	bytesSpilled atomic.Int64
+	spillRuns    atomic.Int64
+	mergePasses  atomic.Int64
+	peakReserved atomic.Int64
 
 	mu       sync.Mutex
 	perStage []StageStat
@@ -85,7 +94,17 @@ type Snapshot struct {
 	Tasks           int64
 	RecordsRead     int64
 	RecordsShuffled int64
-	PerStage        []StageStat
+
+	// BytesSpilled is the total run-file bytes written by out-of-core
+	// operators; SpillRuns counts the run files, MergePasses the k-way
+	// merges executed over them, and PeakReservedBytes the high-water mark
+	// of memory reserved against the context's budget (never above it).
+	BytesSpilled      int64
+	SpillRuns         int64
+	MergePasses       int64
+	PeakReservedBytes int64
+
+	PerStage []StageStat
 }
 
 // Snapshot returns the current counters and the per-stage breakdown in one
@@ -95,10 +114,14 @@ type Snapshot struct {
 // number of distinct stage names.
 func (s *Stats) Snapshot() Snapshot {
 	snap := Snapshot{
-		Stages:          s.stages.Load(),
-		Tasks:           s.tasks.Load(),
-		RecordsRead:     s.recordsRead.Load(),
-		RecordsShuffled: s.recordsShuffled.Load(),
+		Stages:            s.stages.Load(),
+		Tasks:             s.tasks.Load(),
+		RecordsRead:       s.recordsRead.Load(),
+		RecordsShuffled:   s.recordsShuffled.Load(),
+		BytesSpilled:      s.bytesSpilled.Load(),
+		SpillRuns:         s.spillRuns.Load(),
+		MergePasses:       s.mergePasses.Load(),
+		PeakReservedBytes: s.peakReserved.Load(),
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -112,6 +135,10 @@ func (sn Snapshot) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "stages: %d, tasks: %d, records read: %d, records shuffled: %d\n",
 		sn.Stages, sn.Tasks, sn.RecordsRead, sn.RecordsShuffled)
+	if sn.BytesSpilled > 0 || sn.PeakReservedBytes > 0 {
+		fmt.Fprintf(&b, "spill: %d bytes in %d runs, %d merge passes, peak reserved: %d bytes\n",
+			sn.BytesSpilled, sn.SpillRuns, sn.MergePasses, sn.PeakReservedBytes)
+	}
 	if len(sn.PerStage) == 0 {
 		return b.String()
 	}
@@ -138,12 +165,52 @@ func (s *Stats) RecordsShuffled() int64 { return s.recordsShuffled.Load() }
 // RecordsRead returns the number of records ingested by Parallelize.
 func (s *Stats) RecordsRead() int64 { return s.recordsRead.Load() }
 
+// BytesSpilled returns the total bytes written to spill runs.
+func (s *Stats) BytesSpilled() int64 { return s.bytesSpilled.Load() }
+
+// SpillRuns returns the number of spill run files written.
+func (s *Stats) SpillRuns() int64 { return s.spillRuns.Load() }
+
+// MergePasses returns the number of k-way merges executed over spill runs.
+func (s *Stats) MergePasses() int64 { return s.mergePasses.Load() }
+
+// PeakReservedBytes returns the high-water mark of memory reserved against
+// the context's budget.
+func (s *Stats) PeakReservedBytes() int64 { return s.peakReserved.Load() }
+
+// noteSpill folds one operator's spill activity into the totals.
+func (s *Stats) noteSpill(bytes, runs, merges int64) {
+	if bytes != 0 {
+		s.bytesSpilled.Add(bytes)
+	}
+	if runs != 0 {
+		s.spillRuns.Add(runs)
+	}
+	if merges != 0 {
+		s.mergePasses.Add(merges)
+	}
+}
+
+// notePeakReserved raises the reservation high-water mark to at least v.
+func (s *Stats) notePeakReserved(v int64) {
+	for {
+		p := s.peakReserved.Load()
+		if v <= p || s.peakReserved.CompareAndSwap(p, v) {
+			return
+		}
+	}
+}
+
 // Reset zeroes all counters and clears the per-stage log.
 func (s *Stats) Reset() {
 	s.tasks.Store(0)
 	s.stages.Store(0)
 	s.recordsShuffled.Store(0)
 	s.recordsRead.Store(0)
+	s.bytesSpilled.Store(0)
+	s.spillRuns.Store(0)
+	s.mergePasses.Store(0)
+	s.peakReserved.Store(0)
 	s.mu.Lock()
 	s.perStage = nil
 	s.stageIdx = nil
@@ -171,19 +238,60 @@ func (s *Stats) record(st StageStat) {
 }
 
 // Context is the execution environment for datasets: a fixed-size worker
-// pool plus statistics. A Context is safe for concurrent use.
+// pool plus statistics, and optionally a memory budget that switches wide
+// operators into their out-of-core (spilling) regime. A Context is safe for
+// concurrent use.
 type Context struct {
 	parallelism int
 	stats       Stats
+
+	// mem arbitrates the memory budget; nil means unbounded, in which case
+	// every wide operator takes its in-memory fast path.
+	mem *spill.Manager
+	// spillDir is the base directory operators create their run
+	// directories under; only set when mem is non-nil.
+	spillDir string
 }
 
-// New creates a Context with the given parallelism (number of workers).
-// Non-positive parallelism defaults to GOMAXPROCS.
+// Config configures a Context beyond plain parallelism.
+type Config struct {
+	// Parallelism is the number of workers; non-positive defaults to
+	// GOMAXPROCS.
+	Parallelism int
+	// MemoryBudgetBytes bounds the working memory of wide operators
+	// (shuffle buckets, group state, sort buffers). When a task cannot
+	// reserve memory under the budget it spills sorted runs to disk and
+	// k-way merges them — the engine's second, disk-backed execution
+	// regime. Non-positive means unbounded: all wide operators keep their
+	// existing in-memory fast path and never touch disk.
+	MemoryBudgetBytes int64
+	// SpillDir is the base directory for spill files; empty means the
+	// system temp dir. Operators create (and always remove) per-operator
+	// subdirectories beneath it.
+	SpillDir string
+}
+
+// New creates a Context with the given parallelism (number of workers) and
+// no memory budget. Non-positive parallelism defaults to GOMAXPROCS.
 func New(parallelism int) *Context {
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
+	return NewWithConfig(Config{Parallelism: parallelism})
+}
+
+// NewWithConfig creates a Context from a full configuration.
+func NewWithConfig(cfg Config) *Context {
+	p := cfg.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
 	}
-	return &Context{parallelism: parallelism}
+	c := &Context{parallelism: p}
+	if cfg.MemoryBudgetBytes > 0 {
+		c.mem = spill.NewManager(cfg.MemoryBudgetBytes)
+		c.spillDir = cfg.SpillDir
+		if c.spillDir == "" {
+			c.spillDir = os.TempDir()
+		}
+	}
+	return c
 }
 
 // Parallelism returns the number of workers.
@@ -191,6 +299,14 @@ func (c *Context) Parallelism() int { return c.parallelism }
 
 // Stats returns the context's statistics.
 func (c *Context) Stats() *Stats { return &c.stats }
+
+// MemoryBudget returns the configured wide-operator memory budget in bytes
+// (0 when unbounded).
+func (c *Context) MemoryBudget() int64 { return c.mem.Budget() }
+
+// MemoryManager exposes the context's budget manager (nil when unbounded),
+// for callers that coordinate their own buffers with the engine's budget.
+func (c *Context) MemoryManager() *spill.Manager { return c.mem }
 
 // taskCtx is the per-task handle a stage function receives. Fused operators
 // store their name in op before invoking user code, so a panic can be

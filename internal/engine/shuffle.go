@@ -62,12 +62,22 @@ func shuffleByKey[K comparable, V any](d *Dataset[Pair[K, V]], n int) ([][]Pair[
 	if err != nil {
 		return nil, err
 	}
+	if d.ctx.mem != nil {
+		if kc, ok := codecFor[K](); ok {
+			if vc, ok := codecFor[V](); ok {
+				return scatterSpill(d.ctx, "shuffle", parts, n,
+					func(p Pair[K, V]) int { return int(hashKey(p.Key) % uint64(n)) },
+					pairCodec(kc, vc), nil)
+			}
+		}
+	}
 	// scatter[src][dst] collects records from source partition src bound for
 	// destination dst; writing per-source keeps the stage lock-free.
 	scatter := make([][][]Pair[K, V], len(parts))
 	err = d.ctx.runStage("shuffle:scatter", len(parts), func(tk *taskCtx) {
 		in := parts[tk.part]
 		scratch := grabScratch(len(in), n)
+		defer scratchPool.Put(scratch) // deferred so an operator panic still returns it
 		dsts, counts := scratch.dsts, scratch.counts
 		for i, kv := range in {
 			dst := uint32(hashKey(kv.Key) % uint64(n))
@@ -84,7 +94,6 @@ func shuffleByKey[K comparable, V any](d *Dataset[Pair[K, V]], n int) ([][]Pair[
 			local[dsts[i]] = append(local[dsts[i]], kv)
 		}
 		scatter[tk.part] = local
-		scratchPool.Put(scratch)
 	})
 	if err != nil {
 		return nil, err
@@ -114,6 +123,17 @@ func shuffleByKey[K comparable, V any](d *Dataset[Pair[K, V]], n int) ([][]Pair[
 // boundary: the input's pending narrow chain runs (fused) before the
 // shuffle, and the grouped result is materialized.
 func GroupByKey[K comparable, V any](d *Dataset[Pair[K, V]]) *Dataset[Pair[K, []V]] {
+	// Out-of-core regime: sort-spill-merge instead of buckets plus a per-key
+	// map. Group iteration order differs from the in-memory path (merge
+	// order instead of first-seen order); within-group value order is
+	// identical.
+	if d.ctx.mem != nil {
+		if kc, ok := codecFor[K](); ok {
+			if vc, ok := codecFor[V](); ok {
+				return groupByKeyExternal(d, kc, vc)
+			}
+		}
+	}
 	buckets, err := shuffleByKey(d, d.ctx.parallelism)
 	if err != nil {
 		return errDataset[Pair[K, []V]](d.ctx, err)
@@ -149,6 +169,15 @@ func GroupByKey[K comparable, V any](d *Dataset[Pair[K, V]]) *Dataset[Pair[K, []
 // word-count structure relies on (Section 5.2). The combine fuses into the
 // input's pending narrow chain.
 func ReduceByKey[K comparable, V any](d *Dataset[Pair[K, V]], combine func(a, b V) V) *Dataset[Pair[K, V]] {
+	// Out-of-core regime: stream the merged runs through the combiner
+	// directly, never materializing groups.
+	if d.ctx.mem != nil {
+		if kc, ok := codecFor[K](); ok {
+			if vc, ok := codecFor[V](); ok {
+				return reduceByKeyExternal(d, combine, kc, vc)
+			}
+		}
+	}
 	// Map-side combine (narrow, fuses with whatever precedes it). Like
 	// groupByKey, the map indexes the result slice so each record costs one
 	// lookup and combining writes through the slice, not the map.

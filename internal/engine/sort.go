@@ -9,10 +9,16 @@ import (
 // sample-sort structure as Spark's sortByKey. The result's partitions are
 // ordered: every element of partition i precedes every element of
 // partition i+1 under less. The range partitioning is a stage boundary; the
-// local sorts are a narrow stage fused over it.
+// local sorts are a narrow stage fused over it. Under a memory budget (and
+// a registered codec for T) this becomes a true external merge sort.
 func SortBy[T any](d *Dataset[T], less func(a, b T) bool, n int) *Dataset[T] {
 	if n <= 0 {
 		n = d.ctx.parallelism
+	}
+	if d.ctx.mem != nil {
+		if c, ok := codecFor[T](); ok {
+			return sortByExternal(d, less, n, c)
+		}
 	}
 	rp := RangePartitionBy(d, less, n)
 	return MapPartitions(rp, func(_ int, in []T) []T {
@@ -29,6 +35,8 @@ func SortBy[T any](d *Dataset[T], less func(a, b T) bool, n int) *Dataset[T] {
 // (every k-th element), good enough for the balanced partitioning OCJoin's
 // partitioning phase requires. It is a stage boundary: the input is forced
 // (running any pending narrow chain as one fused stage) before sampling.
+// Under a memory budget the scatter spills to disk; the output is
+// element-for-element identical to the in-memory path's.
 func RangePartitionBy[T any](d *Dataset[T], less func(a, b T) bool, n int) *Dataset[T] {
 	if n <= 0 {
 		n = d.ctx.parallelism
@@ -49,45 +57,17 @@ func RangePartitionBy[T any](d *Dataset[T], less func(a, b T) bool, n int) *Data
 		return fromParts(d.ctx, [][]T{all})
 	}
 
-	// Sample ~32 candidates per output partition, deterministically.
-	sampleTarget := 32 * n
-	step := total / sampleTarget
-	if step < 1 {
-		step = 1
-	}
-	var sample []T
-	i := 0
-	for _, p := range dparts {
-		for _, v := range p {
-			if i%step == 0 {
-				sample = append(sample, v)
-			}
-			i++
-		}
-	}
-	sort.SliceStable(sample, func(a, b int) bool { return less(sample[a], sample[b]) })
-	// n-1 boundaries at sample quantiles.
-	bounds := make([]T, 0, n-1)
-	for k := 1; k < n; k++ {
-		idx := k * len(sample) / n
-		if idx >= len(sample) {
-			idx = len(sample) - 1
-		}
-		bounds = append(bounds, sample[idx])
-	}
+	bounds := sampleBounds(dparts, total, n, less)
+	target := boundsTarget(bounds, less)
 
-	target := func(v T) int {
-		// First boundary strictly greater than v determines the partition.
-		lo, hi := 0, len(bounds)
-		for lo < hi {
-			mid := (lo + hi) / 2
-			if less(v, bounds[mid]) {
-				hi = mid
-			} else {
-				lo = mid + 1
+	if d.ctx.mem != nil {
+		if c, ok := codecFor[T](); ok {
+			out, serr := scatterSpill(d.ctx, "rangePartition", dparts, n, target, c, nil)
+			if serr != nil {
+				return errDataset[T](d.ctx, serr)
 			}
+			return fromParts(d.ctx, out)
 		}
-		return lo
 	}
 
 	// Scatter with exact bucket sizing (destination indexes are computed

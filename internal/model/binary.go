@@ -76,6 +76,64 @@ func DecodeValue(buf []byte) (Value, int, error) {
 	}
 }
 
+// AppendValueKey appends the binary encoding of k to buf:
+//
+//	valuekey := kind:uint8 payload
+//	payload(null)   :=
+//	payload(string) := len:uvarint bytes
+//	payload(int)    := Num 8 bytes little-endian
+//	payload(float)  := Num 8 bytes little-endian
+//
+// The encoding is injective: distinct keys (and hence distinct grouping
+// classes) always encode to distinct byte strings, which the engine's
+// external shuffle relies on to keep groups intact across a spill.
+func AppendValueKey(buf []byte, k ValueKey) []byte {
+	buf = append(buf, byte(k.Kind))
+	switch k.Kind {
+	case KindString:
+		buf = binary.AppendUvarint(buf, uint64(len(k.Str)))
+		buf = append(buf, k.Str...)
+	case KindInt, KindFloat:
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], k.Num)
+		buf = append(buf, b[:]...)
+	}
+	return buf
+}
+
+// DecodeValueKey decodes one ValueKey from buf, returning it and the number
+// of bytes consumed.
+func DecodeValueKey(buf []byte) (ValueKey, int, error) {
+	if len(buf) == 0 {
+		return ValueKey{}, 0, fmt.Errorf("model: decode value key: empty buffer")
+	}
+	kind := Kind(buf[0])
+	pos := 1
+	switch kind {
+	case KindNull:
+		return ValueKey{}, pos, nil
+	case KindString:
+		n, sz := binary.Uvarint(buf[pos:])
+		if sz <= 0 {
+			return ValueKey{}, 0, fmt.Errorf("model: decode key string length")
+		}
+		pos += sz
+		if pos+int(n) > len(buf) {
+			return ValueKey{}, 0, fmt.Errorf("model: key string payload truncated")
+		}
+		s := string(buf[pos : pos+int(n)])
+		return ValueKey{Kind: KindString, Str: s}, pos + int(n), nil
+	case KindInt, KindFloat:
+		if pos+8 > len(buf) {
+			return ValueKey{}, 0, fmt.Errorf("model: key payload truncated")
+		}
+		num := binary.LittleEndian.Uint64(buf[pos:])
+		return ValueKey{Kind: kind, Num: num}, pos + 8, nil
+	default:
+		return ValueKey{}, 0, fmt.Errorf("model: unknown value key kind %d", kind)
+	}
+}
+
 // AppendTuple appends the binary encoding of t to buf.
 func AppendTuple(buf []byte, t Tuple) []byte {
 	buf = binary.AppendUvarint(buf, uint64(t.ID))

@@ -1,0 +1,99 @@
+// Package spill is the out-of-core substrate of the engine: a memory-budget
+// manager that wide-operator tasks reserve working memory from, and
+// crc-checked, length-prefixed run files under a temp directory that those
+// tasks spill sorted (or partitioned) record runs to when the budget is
+// exhausted. The paper's evaluation runs datasets far beyond RAM on Spark's
+// external shuffle; this package plays that role for the in-process engine.
+//
+// The package is deliberately byte-oriented: records are opaque []byte
+// produced by the engine's codecs, so spill knows nothing about values,
+// tuples or keys and sits below every data-model layer.
+package spill
+
+import "sync/atomic"
+
+// Manager arbitrates a fixed memory budget between concurrent tasks.
+// Reservations are advisory bookkeeping, not allocations: a task reserves
+// before buffering records and spills (then releases) when a reservation is
+// refused. The peak of reserved bytes is tracked and never exceeds the
+// budget, which is the invariant the out-of-core tests assert.
+//
+// A nil *Manager is valid and means "unbounded": every reservation
+// succeeds and nothing is tracked, so engine code can thread one pointer
+// unconditionally.
+type Manager struct {
+	budget   int64
+	reserved atomic.Int64
+	peak     atomic.Int64
+}
+
+// NewManager creates a manager with the given budget in bytes.
+// Non-positive budgets return nil, the unbounded manager.
+func NewManager(budget int64) *Manager {
+	if budget <= 0 {
+		return nil
+	}
+	return &Manager{budget: budget}
+}
+
+// Budget returns the configured budget in bytes (0 when unbounded).
+func (m *Manager) Budget() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.budget
+}
+
+// TryReserve attempts to reserve n bytes. It fails (returning false,
+// reserving nothing) when the reservation would push the total over the
+// budget — the signal for the caller to spill its buffer and release.
+func (m *Manager) TryReserve(n int64) bool {
+	if m == nil || n <= 0 {
+		return true
+	}
+	for {
+		cur := m.reserved.Load()
+		if cur+n > m.budget {
+			return false
+		}
+		if m.reserved.CompareAndSwap(cur, cur+n) {
+			m.notePeak(cur + n)
+			return true
+		}
+	}
+}
+
+// Release returns n reserved bytes to the budget.
+func (m *Manager) Release(n int64) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.reserved.Add(-n)
+}
+
+// Reserved returns the bytes currently reserved.
+func (m *Manager) Reserved() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.reserved.Load()
+}
+
+// Peak returns the high-water mark of reserved bytes over the manager's
+// lifetime. By construction it never exceeds Budget().
+func (m *Manager) Peak() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.peak.Load()
+}
+
+// notePeak raises the high-water mark to at least v.
+func (m *Manager) notePeak(v int64) {
+	for {
+		p := m.peak.Load()
+		if v <= p || m.peak.CompareAndSwap(p, v) {
+			return
+		}
+	}
+}
