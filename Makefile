@@ -3,7 +3,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check fmt vet build test race bench test-spill
+.PHONY: check fmt vet build test race bench test-spill test-trace
 
 check: fmt vet build test race
 
@@ -34,6 +34,17 @@ test-spill:
 		./internal/engine/ ./internal/core/ ./internal/model/ ./cmd/bigdansing/
 	$(GO) test -race -run 'External|Spill' ./internal/engine/
 	$(GO) test -race ./internal/spill/...
+
+# Observability subsystem: the trace package (span tree, Chrome exporter,
+# validator, explain renderer), the engine Observer seam, and the traced
+# end-to-end CLI runs (-explain golden + -trace JSON validated in-process).
+test-trace:
+	$(GO) test ./internal/trace/...
+	$(GO) test -run 'Observer|Snapshot|DeprecatedGetters' ./internal/engine/
+	$(GO) test -run 'Report|WithObserver' ./internal/cleanse/
+	$(GO) test -run 'Explain|Trace' ./cmd/bigdansing/
+	$(GO) test -race ./internal/trace/...
+	$(GO) test -race -run 'Observer' ./internal/engine/
 
 bench:
 	$(GO) test -run xxx -bench 'Table2Datasets|Fig9' -benchtime 1x -benchmem .

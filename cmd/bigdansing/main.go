@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -26,6 +27,7 @@ import (
 	"bigdansing/internal/model"
 	"bigdansing/internal/repair"
 	"bigdansing/internal/rules"
+	"bigdansing/internal/trace"
 )
 
 func main() {
@@ -49,6 +51,8 @@ func run(args []string, out io.Writer) error {
 		maxIter   = fs.Int("max-iterations", 10, "bound on the detect-repair loop")
 		verbose   = fs.Bool("v", false, "print every violation")
 		stats     = fs.Bool("stats", false, "print the per-stage dataflow execution breakdown")
+		explain   = fs.Bool("explain", false, "after the run, print the EXPLAIN ANALYZE-style annotated span tree")
+		tracePath = fs.String("trace", "", "write a Chrome trace-event JSON of the run (load in ui.perfetto.dev)")
 		vioOut    = fs.String("violations-out", "", "write the violation report (with possible fixes) to this CSV")
 		memBudget = fs.String("mem-budget", "", "memory budget for wide operators, e.g. 64MiB or 512K; shuffles spill to disk past it (default: unbounded)")
 		spillDir  = fs.String("spill-dir", "", "directory for spill run files (default: the system temp dir)")
@@ -127,14 +131,42 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("-mem-budget: %w", err)
 	}
-	ctx := engine.NewWithConfig(engine.Config{
+	var tracer *trace.Tracer
+	if *explain || *tracePath != "" {
+		tracer = trace.New()
+	}
+	cfg := engine.Config{
 		Parallelism:       *workers,
 		MemoryBudgetBytes: budget,
 		SpillDir:          *spillDir,
-	})
+	}
+	if tracer != nil {
+		cfg.Observer = tracer
+	}
+	ctx := engine.NewWithConfig(cfg)
 	if *stats {
 		defer func() {
 			fmt.Fprintf(out, "\ndataflow stages:\n%s", ctx.Stats().Snapshot())
+		}()
+	}
+	if tracer != nil {
+		// Finish and export the trace whether or not the run errored: a
+		// partial span tree is exactly what explains a failure.
+		defer func() {
+			tracer.Finish()
+			if *explain {
+				fmt.Fprintf(out, "\nexecution trace:\n")
+				if err := trace.WriteTree(out, tracer); err != nil {
+					fmt.Fprintln(os.Stderr, "bigdansing: explain:", err)
+				}
+			}
+			if *tracePath != "" {
+				if err := writeTraceFile(*tracePath, tracer); err != nil {
+					fmt.Fprintln(os.Stderr, "bigdansing:", err)
+				} else {
+					fmt.Fprintf(out, "trace written to %s\n", *tracePath)
+				}
+			}
 		}()
 	}
 	switch *mode {
@@ -163,8 +195,13 @@ func run(args []string, out io.Writer) error {
 			}
 		}
 		fmt.Fprintf(out, "violations: %d (possible fixes: %d)\n", len(res.Violations), len(res.AllFixes()))
-		for r, n := range byRule {
-			fmt.Fprintf(out, "  %-12s %d\n", r, n)
+		ruleIDs := make([]string, 0, len(byRule))
+		for r := range byRule {
+			ruleIDs = append(ruleIDs, r)
+		}
+		sort.Strings(ruleIDs)
+		for _, r := range ruleIDs {
+			fmt.Fprintf(out, "  %-12s %d\n", r, byRule[r])
 		}
 		if *vioOut != "" {
 			if err := model.WriteViolationsFile(*vioOut, res.FixSets); err != nil {
@@ -198,10 +235,17 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "iterations: %d\n", res.Iterations)
-		fmt.Fprintf(out, "violations: %d initially, %d remaining\n", res.InitialViolations, res.RemainingViolations)
-		fmt.Fprintf(out, "updates applied: %d (frozen cells: %d)\n", res.TotalAssignments, res.FrozenCells)
-		fmt.Fprintf(out, "detect time: %v, repair time: %v\n", res.DetectTime, res.RepairTime)
+		rep := res.Report()
+		fmt.Fprintf(out, "iterations: %d\n", rep.Iterations)
+		fmt.Fprintf(out, "violations: %d initially, %d remaining\n", rep.InitialViolations, rep.RemainingViolations)
+		fmt.Fprintf(out, "updates applied: %d (frozen cells: %d)\n", rep.UpdatesApplied, rep.FrozenCells)
+		fmt.Fprintf(out, "detect time: %v, repair time: %v\n", rep.DetectTime, rep.RepairTime)
+		if *verbose {
+			for i, rr := range rep.RepairRounds {
+				fmt.Fprintf(out, "  repair round %d: components=%d split=%d conflicts=%d assignments=%d\n",
+					i+1, rr.Components, rr.SplitComponents, rr.Conflicts, rr.Assignments)
+			}
+		}
 		if *outPath != "" {
 			if err := model.WriteCSVFile(*outPath, res.Clean, *header); err != nil {
 				return err
@@ -213,6 +257,19 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
+}
+
+// writeTraceFile writes the tracer's Chrome trace-event JSON to path.
+func writeTraceFile(path string, tracer *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChromeTrace(f, tracer); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // parseByteSize parses a human-readable byte count such as "65536", "512K",

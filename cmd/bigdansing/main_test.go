@@ -194,6 +194,16 @@ func TestParseByteSize(t *testing.T) {
 		"2GiB":  2 << 30,
 		"512B":  512,
 		" 1 K ": 1 << 10,
+		// Units are case-insensitive: lowercase and mixed-case spellings
+		// parse identically to their canonical forms.
+		"64mib": 64 << 20,
+		"512k":  512 << 10,
+		"8mb":   8 << 20,
+		"1gb":   1 << 30,
+		"2gib":  2 << 30,
+		"256b":  256,
+		"64Kb":  64 << 10,
+		"1Gib":  1 << 30,
 	}
 	for in, want := range good {
 		got, err := parseByteSize(in)

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"bigdansing/internal/trace"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files with current output")
+
+// scrubDurations replaces wall-clock numbers so explain output can be
+// compared across runs: span durations like (318.633µs) and the UDF
+// nanosecond attributes.
+func scrubDurations(s string) string {
+	s = regexp.MustCompile(`\(\d+(\.\d+)?(ns|µs|ms|s)\)`).ReplaceAllString(s, "(DUR)")
+	s = regexp.MustCompile(`(detect_ns|genfix_ns)=\d+`).ReplaceAllString(s, "$1=NS")
+	return s
+}
+
+// TestExplainFlagGolden locks down the -explain span tree for the bundled
+// FD+DC example: operator names, nesting, partition and record counts.
+// Durations are scrubbed; everything else must be deterministic.
+func TestExplainFlagGolden(t *testing.T) {
+	input := writeTaxCSV(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-input", input, "-schema", taxSchema,
+		"-fd", "zipcode -> city",
+		"-dc", "t1.salary > t2.salary & t1.rate < t2.rate",
+		"-mode", "detect", "-workers", "2",
+		"-explain",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	idx := strings.Index(text, "execution trace:")
+	if idx < 0 {
+		t.Fatalf("-explain output missing the trace section:\n%s", text)
+	}
+	got := scrubDurations(text[idx:])
+
+	goldenPath := filepath.Join("testdata", "explain_fd_dc.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("-explain output changed.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestExplainReconcilesWithStats cross-checks the two reports the CLI can
+// print: the explain totals line and the -stats snapshot must agree on
+// records read and shuffled.
+func TestExplainReconcilesWithStats(t *testing.T) {
+	input := writeTaxCSV(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-input", input, "-schema", taxSchema,
+		"-fd", "zipcode -> city",
+		"-dc", "t1.salary > t2.salary & t1.rate < t2.rate",
+		"-mode", "detect", "-workers", "2",
+		"-explain", "-stats",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	totals := regexp.MustCompile(`totals: records_read=(\d+) records_shuffled=(\d+)`).FindStringSubmatch(text)
+	stats := regexp.MustCompile(`records read: (\d+), records shuffled: (\d+)`).FindStringSubmatch(text)
+	if totals == nil || stats == nil {
+		t.Fatalf("missing totals or stats lines:\n%s", text)
+	}
+	if totals[1] != stats[1] || totals[2] != stats[2] {
+		t.Errorf("explain totals (read=%s shuffled=%s) != stats (read=%s shuffled=%s)",
+			totals[1], totals[2], stats[1], stats[2])
+	}
+}
+
+// TestTraceFlag runs the full e2e clean job with -trace and validates the
+// emitted Chrome trace-event JSON (the CI traced-e2e job does the same via
+// make test-trace).
+func TestTraceFlag(t *testing.T) {
+	input := writeTaxCSV(t)
+	tracePath := filepath.Join(t.TempDir(), "out.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-input", input, "-schema", taxSchema,
+		"-fd", "zipcode -> city",
+		"-dc", "t1.salary > t2.salary & t1.rate < t2.rate",
+		"-mode", "clean", "-parallel-repair", "-workers", "4",
+		"-trace", tracePath,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "trace written to") {
+		t.Errorf("missing trace confirmation:\n%s", out.String())
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.ValidateChromeTrace(data); err != nil {
+		t.Fatalf("emitted trace is invalid: %v", err)
+	}
+
+	// The trace must carry the whole run: engine stages, plan compilation,
+	// detection pipelines, repair phases, rounds — and per-worker tracks.
+	var tr struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+			Ph   string `json:"ph"`
+			Tid  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tr); err != nil {
+		t.Fatal(err)
+	}
+	cats := map[string]bool{}
+	workerTracks := map[int]bool{}
+	for _, ev := range tr.TraceEvents {
+		if ev.Ph == "X" {
+			cats[ev.Cat] = true
+			if ev.Cat == "task" && ev.Tid > 0 {
+				workerTracks[ev.Tid] = true
+			}
+		}
+	}
+	for _, want := range []string{"run", "stage", "task", "plan", "pipeline", "repair", "round"} {
+		if !cats[want] {
+			t.Errorf("trace has no %q spans (cats: %v)", want, cats)
+		}
+	}
+	if len(workerTracks) < 2 {
+		t.Errorf("want task events on >=2 worker tracks, got %v", workerTracks)
+	}
+}
+
+// TestTraceFlagDetectMode: tracing must work without the cleansing loop
+// too (no round/repair spans, still valid JSON).
+func TestTraceFlagDetectMode(t *testing.T) {
+	input := writeTaxCSV(t)
+	tracePath := filepath.Join(t.TempDir(), "detect.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-input", input, "-schema", taxSchema,
+		"-fd", "zipcode -> city",
+		"-mode", "detect", "-trace", tracePath,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.ValidateChromeTrace(data); err != nil {
+		t.Fatalf("emitted trace is invalid: %v", err)
+	}
+}

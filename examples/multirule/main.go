@@ -68,9 +68,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	rep := res.Report()
 	fmt.Printf("\ncleansing: %d -> %d violations in %d iterations (%v)\n",
-		res.InitialViolations, res.RemainingViolations, res.Iterations,
+		rep.InitialViolations, rep.RemainingViolations, rep.Iterations,
 		time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("engine: %d stages, %d tasks, %d records shuffled\n",
+		rep.Engine.Stages, rep.Engine.Tasks, rep.Engine.RecordsShuffled)
 
 	q := datagen.Evaluate(truth, res.Clean)
 	fmt.Printf("repair quality: precision %.3f, recall %.3f (%d updates, %d correct)\n",

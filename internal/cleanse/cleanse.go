@@ -43,6 +43,14 @@ type Cleaner struct {
 	// maintenance re-run in full). The result is identical; later
 	// iterations get cheaper.
 	Incremental bool
+	// Observer, when set, is attached to the dataflow context on the first
+	// Clean so one sink (e.g. a trace.Tracer) sees the whole run: engine
+	// stages, plan compilation, detection pipelines, repair phases and the
+	// detect-repair rounds. Equivalent to building the Context with
+	// engine.Config.Observer.
+	Observer engine.Observer
+
+	observerAttached bool
 }
 
 // Option configures a Cleaner built with NewCleaner.
@@ -82,6 +90,14 @@ func WithFreezeAfter(n int) Option {
 	return func(c *Cleaner) { c.FreezeAfter = n }
 }
 
+// WithObserver routes the whole run's execution events — engine stages,
+// plan compilation, detection pipelines, repair phases, detect-repair
+// rounds — to o (for example a trace.Tracer). The context's own Stats
+// keeps counting alongside.
+func WithObserver(o engine.Observer) Option {
+	return func(c *Cleaner) { c.Observer = o }
+}
+
 // NewCleaner builds a Cleaner over ctx and rules, applying any options. It
 // is the preferred construction path; the Cleaner struct remains exported
 // for callers that need to set fields directly.
@@ -111,10 +127,70 @@ type Result struct {
 	RepairTime time.Duration
 	// Reports holds the per-iteration parallel repair reports.
 	Reports []*repair.Report
+
+	// engineSnap is the dataflow snapshot taken when Clean returned, so
+	// Report() can hand callers the engine-side numbers without them
+	// reaching into the Context.
+	engineSnap engine.Snapshot
+}
+
+// Report is the one-struct summary of a cleansing run: what the loop did,
+// what the dataflow engine did underneath, and what each parallel repair
+// round decided. It replaces callers stitching together Result fields,
+// engine.Stats getters and repair reports across three packages.
+type Report struct {
+	// Iterations is the number of detect-repair rounds executed.
+	Iterations int
+	// InitialViolations and RemainingViolations bracket the run.
+	InitialViolations   int
+	RemainingViolations int
+	// UpdatesApplied counts cell updates applied across iterations.
+	UpdatesApplied int
+	// FrozenCells counts cells pinned by the termination device.
+	FrozenCells int
+	// DetectTime and RepairTime split the wall time (Figure 8(b)).
+	DetectTime time.Duration
+	RepairTime time.Duration
+	// Engine is the dataflow execution snapshot (stages, shuffle volume,
+	// spill activity) at the end of the run.
+	Engine engine.Snapshot
+	// RepairRounds holds the per-iteration parallel repair reports
+	// (components, splits, conflicts, assignments); empty for the
+	// centralized repair path.
+	RepairRounds []*repair.Report
+}
+
+// Report summarizes the run as one struct.
+func (r *Result) Report() Report {
+	return Report{
+		Iterations:          r.Iterations,
+		InitialViolations:   r.InitialViolations,
+		RemainingViolations: r.RemainingViolations,
+		UpdatesApplied:      r.TotalAssignments,
+		FrozenCells:         r.FrozenCells,
+		DetectTime:          r.DetectTime,
+		RepairTime:          r.RepairTime,
+		Engine:              r.engineSnap,
+		RepairRounds:        r.Reports,
+	}
 }
 
 // Clean runs the iterative cleansing process on a copy of rel.
 func (c *Cleaner) Clean(rel *model.Relation) (*Result, error) {
+	if c.Observer != nil && !c.observerAttached {
+		c.Ctx.AttachObserver(c.Observer)
+		c.observerAttached = true
+	}
+	res, err := c.clean(rel)
+	if err != nil {
+		return nil, err
+	}
+	res.engineSnap = c.Ctx.Stats().Snapshot()
+	return res, nil
+}
+
+// clean is the detect-repair loop behind Clean.
+func (c *Cleaner) clean(rel *model.Relation) (*Result, error) {
 	if len(c.Rules) == 0 {
 		return nil, fmt.Errorf("cleanse: no rules")
 	}
@@ -146,105 +222,131 @@ func (c *Cleaner) Clean(rel *model.Relation) (*Result, error) {
 	}
 	var changed []int64 // nil forces a full first pass
 
-	for iter := 0; iter < maxIter; iter++ {
-		t0 := time.Now()
-		var det *core.DetectResult
-		var err error
-		if incDet != nil {
-			det, err = incDet.Detect(work, changed)
-		} else {
-			det, err = core.DetectRules(c.Ctx, c.Rules, work)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("cleanse: detection (iteration %d): %w", iter+1, err)
-		}
-		res.DetectTime += time.Since(t0)
-		if iter == 0 {
-			res.InitialViolations = len(det.Violations)
-		}
-		res.Iterations = iter + 1
+	// ropts is the parallel-repair configuration with the run's observer
+	// threaded through, so repair phases land in the same span tree.
+	obs := c.Ctx.Observer()
+	ropts := c.RepairOpts
+	if ropts.Observer == nil {
+		ropts.Observer = obs
+	}
 
-		// Drop violations whose every fix touches a frozen cell: they have
-		// no usable possible fixes anymore (Section 2.2's stopping rule).
-		actionable := det.FixSets[:0:0]
-		remaining := 0
-		for _, fs := range det.FixSets {
-			if len(fs.Fixes) == 0 {
-				remaining++ // detection-only violation: reported, not repairable
-				continue
+	for iter := 0; iter < maxIter; iter++ {
+		// One span per detect-repair round; the closure keeps it closed on
+		// every exit path (early convergence, errors).
+		rsp := obs.BeginSpan(nil, fmt.Sprintf("round %d", iter+1), engine.SpanRound)
+		done, err := func() (bool, error) {
+			t0 := time.Now()
+			var det *core.DetectResult
+			var err error
+			if incDet != nil {
+				det, err = incDet.Detect(work, changed)
+			} else {
+				det, err = core.DetectRules(c.Ctx, c.Rules, work)
 			}
-			usable := false
-			for _, f := range fs.Fixes {
-				ok := true
-				for _, cell := range f.Cells() {
-					if frozen[cell.MapKey()] {
-						ok = false
+			if err != nil {
+				return false, fmt.Errorf("cleanse: detection (iteration %d): %w", iter+1, err)
+			}
+			res.DetectTime += time.Since(t0)
+			if iter == 0 {
+				res.InitialViolations = len(det.Violations)
+			}
+			res.Iterations = iter + 1
+			rsp.Attr(engine.AttrViolations, int64(len(det.Violations)))
+
+			// Drop violations whose every fix touches a frozen cell: they have
+			// no usable possible fixes anymore (Section 2.2's stopping rule).
+			actionable := det.FixSets[:0:0]
+			remaining := 0
+			for _, fs := range det.FixSets {
+				if len(fs.Fixes) == 0 {
+					remaining++ // detection-only violation: reported, not repairable
+					continue
+				}
+				usable := false
+				for _, f := range fs.Fixes {
+					ok := true
+					for _, cell := range f.Cells() {
+						if frozen[cell.MapKey()] {
+							ok = false
+							break
+						}
+					}
+					if ok {
+						usable = true
 						break
 					}
 				}
-				if ok {
-					usable = true
-					break
+				if usable {
+					actionable = append(actionable, fs)
+				} else {
+					remaining++
 				}
 			}
-			if usable {
-				actionable = append(actionable, fs)
+			if len(actionable) == 0 {
+				res.RemainingViolations = remaining
+				res.FrozenCells = len(frozen)
+				return true, nil
+			}
+
+			t1 := time.Now()
+			var assignments []repair.Assignment
+			if c.Parallel {
+				as, rep, err := repair.RepairParallel(actionable, algo, ropts)
+				if err != nil {
+					return false, fmt.Errorf("cleanse: parallel repair (iteration %d): %w", iter+1, err)
+				}
+				assignments = as
+				res.Reports = append(res.Reports, rep)
 			} else {
-				remaining++
+				csp := obs.BeginSpan(nil, "repair", engine.SpanRepair)
+				as, err := algo.Repair(actionable)
+				csp.Attr(engine.AttrAssignments, int64(len(as)))
+				csp.End()
+				if err != nil {
+					return false, fmt.Errorf("cleanse: repair (iteration %d): %w", iter+1, err)
+				}
+				assignments = as
 			}
-		}
-		if len(actionable) == 0 {
-			res.RemainingViolations = remaining
-			res.FrozenCells = len(frozen)
-			return res, nil
-		}
+			res.RepairTime += time.Since(t1)
 
-		t1 := time.Now()
-		var assignments []repair.Assignment
-		if c.Parallel {
-			as, rep, err := repair.RepairParallel(actionable, algo, c.RepairOpts)
-			if err != nil {
-				return nil, fmt.Errorf("cleanse: parallel repair (iteration %d): %w", iter+1, err)
+			applied := repair.Apply(work, assignments, frozen)
+			res.TotalAssignments += applied
+			rsp.Attr(engine.AttrAssignments, int64(applied))
+			changed = changed[:0]
+			seenChanged := map[int64]bool{}
+			for _, a := range assignments {
+				k := a.CellKey()
+				if !frozen[k] && !seenChanged[a.TupleID] {
+					seenChanged[a.TupleID] = true
+					changed = append(changed, a.TupleID)
+				}
+				if frozen[k] {
+					continue
+				}
+				updates[k]++
+				if updates[k] >= freezeAfter {
+					frozen[k] = true
+				}
 			}
-			assignments = as
-			res.Reports = append(res.Reports, rep)
-		} else {
-			as, err := algo.Repair(actionable)
-			if err != nil {
-				return nil, fmt.Errorf("cleanse: repair (iteration %d): %w", iter+1, err)
-			}
-			assignments = as
-		}
-		res.RepairTime += time.Since(t1)
-
-		applied := repair.Apply(work, assignments, frozen)
-		res.TotalAssignments += applied
-		changed = changed[:0]
-		seenChanged := map[int64]bool{}
-		for _, a := range assignments {
-			k := a.CellKey()
-			if !frozen[k] && !seenChanged[a.TupleID] {
-				seenChanged[a.TupleID] = true
-				changed = append(changed, a.TupleID)
-			}
-			if frozen[k] {
-				continue
-			}
-			updates[k]++
-			if updates[k] >= freezeAfter {
-				frozen[k] = true
-			}
-		}
-		if applied == 0 {
-			// The algorithm proposed nothing applicable; freeze the cells
-			// of the remaining fixes to guarantee forward progress.
-			for _, fs := range actionable {
-				for _, f := range fs.Fixes {
-					for _, cell := range f.Cells() {
-						frozen[cell.MapKey()] = true
+			if applied == 0 {
+				// The algorithm proposed nothing applicable; freeze the cells
+				// of the remaining fixes to guarantee forward progress.
+				for _, fs := range actionable {
+					for _, f := range fs.Fixes {
+						for _, cell := range f.Cells() {
+							frozen[cell.MapKey()] = true
+						}
 					}
 				}
 			}
+			return false, nil
+		}()
+		rsp.End()
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			return res, nil
 		}
 	}
 

@@ -1,0 +1,82 @@
+package cleanse
+
+import (
+	"testing"
+
+	"bigdansing/internal/core"
+	"bigdansing/internal/engine"
+	"bigdansing/internal/repair"
+	"bigdansing/internal/trace"
+)
+
+// TestResultReport: Report() must mirror the Result fields and carry the
+// engine snapshot and per-round repair reports, so callers need only one
+// struct instead of poking three packages.
+func TestResultReport(t *testing.T) {
+	rel := dirtyTax(6, 6, 2)
+	cleaner := NewCleaner(engine.New(4), []*core.Rule{fdZipCity(t, rel)},
+		WithParallelRepair(repair.Options{}))
+	res, err := cleaner.Clean(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report()
+	if rep.Iterations != res.Iterations ||
+		rep.InitialViolations != res.InitialViolations ||
+		rep.RemainingViolations != res.RemainingViolations ||
+		rep.UpdatesApplied != res.TotalAssignments ||
+		rep.FrozenCells != res.FrozenCells ||
+		rep.DetectTime != res.DetectTime ||
+		rep.RepairTime != res.RepairTime {
+		t.Errorf("Report diverges from Result: %+v vs %+v", rep, res)
+	}
+	if rep.Engine.Stages == 0 || rep.Engine.Tasks == 0 || rep.Engine.RecordsRead == 0 {
+		t.Errorf("Report.Engine should carry the dataflow snapshot: %+v", rep.Engine)
+	}
+	if len(rep.RepairRounds) == 0 {
+		t.Error("Report.RepairRounds empty for a parallel-repair run")
+	}
+	for i, rr := range rep.RepairRounds {
+		if rr.Components <= 0 {
+			t.Errorf("round %d: components = %d", i, rr.Components)
+		}
+	}
+}
+
+// TestWithObserverTracesWholeRun: an Observer installed via the cleanse
+// option must see every layer — rounds, plan compilation, pipelines,
+// engine stages and repair phases — and leave no span open.
+func TestWithObserverTracesWholeRun(t *testing.T) {
+	rel := dirtyTax(6, 6, 2)
+	tr := trace.New()
+	cleaner := NewCleaner(engine.New(4), []*core.Rule{fdZipCity(t, rel)},
+		WithParallelRepair(repair.Options{}),
+		WithObserver(tr))
+	res, err := cleaner.Clean(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemainingViolations != 0 {
+		t.Fatalf("remaining violations: %d", res.RemainingViolations)
+	}
+	tr.Finish()
+	kinds := map[engine.SpanKind]int{}
+	for _, s := range tr.Spans() {
+		kinds[s.Kind()]++
+	}
+	for _, k := range []engine.SpanKind{
+		engine.SpanRound, engine.SpanPlan, engine.SpanPipeline,
+		engine.SpanStage, engine.SpanTask, engine.SpanRepair,
+	} {
+		if kinds[k] == 0 {
+			t.Errorf("no %v spans recorded (kinds: %v)", k, kinds)
+		}
+	}
+	if kinds[engine.SpanRound] != res.Iterations {
+		t.Errorf("round spans = %d, iterations = %d", kinds[engine.SpanRound], res.Iterations)
+	}
+	// Stats kept counting alongside the tracer.
+	if res.Report().Engine.RecordsRead == 0 {
+		t.Error("Stats stopped counting while traced")
+	}
+}

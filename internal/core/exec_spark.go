@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"reflect"
+	"sync/atomic"
+	"time"
 
 	"bigdansing/internal/engine"
 	"bigdansing/internal/join"
@@ -194,11 +196,29 @@ func (ex *sparkExec) blocks(d *engine.Dataset[model.Tuple], block BlockFunc) *en
 }
 
 func (ex *sparkExec) runPipeline(pp *PhysicalPlan, p *PhysicalPipeline, out *DetectResult) error {
+	sp := ex.ctx.Observer().BeginSpan(nil, p.RuleID, engine.SpanPipeline)
+	defer sp.End()
+	// When a user Observer is installed, wrap the Detect and GenFix UDFs
+	// with cumulative nanosecond timers (one atomic add per item, never per
+	// record cell). With only the default Stats observer the closures stay
+	// unwrapped and the hot path pays nothing.
+	var detectNs, genfixNs atomic.Int64
+	instrumented := ex.ctx.Instrumented()
+
 	items, err := ex.items(pp, p)
 	if err != nil {
 		return err
 	}
 	detect := p.Detect
+	if instrumented {
+		inner := detect
+		detect = func(it Item) []model.Violation {
+			t0 := time.Now()
+			vs := inner(it)
+			detectNs.Add(int64(time.Since(t0)))
+			return vs
+		}
+	}
 	violations := engine.FlatMap(items, func(it Item) []model.Violation { return detect(it) })
 	// No action here: Detect stays lazy so the enumeration, detection and
 	// (below) fix generation fuse into a single per-partition stage. A
@@ -214,6 +234,15 @@ func (ex *sparkExec) runPipeline(pp *PhysicalPlan, p *PhysicalPipeline, out *Det
 	}
 	if p.GenFix != nil {
 		genfix := p.GenFix
+		if instrumented {
+			inner := genfix
+			genfix = func(v model.Violation) []model.Fix {
+				t0 := time.Now()
+				fs := inner(v)
+				genfixNs.Add(int64(time.Since(t0)))
+				return fs
+			}
+		}
 		fixSets := engine.Map(violations, func(v model.Violation) model.FixSet {
 			return model.FixSet{Violation: v, Fixes: genfix(v)}
 		})
@@ -221,10 +250,13 @@ func (ex *sparkExec) runPipeline(pp *PhysicalPlan, p *PhysicalPipeline, out *Det
 		if err != nil {
 			return fmt.Errorf("core: detection pipeline %s failed: %w", p.RuleID, err)
 		}
+		fixes := 0
 		for _, fs := range sets {
 			out.Violations = append(out.Violations, fs.Violation)
 			out.FixSets = append(out.FixSets, fs)
+			fixes += len(fs.Fixes)
 		}
+		finishPipelineSpan(sp, instrumented, int64(len(sets)), int64(fixes), &detectNs, &genfixNs)
 		return nil
 	}
 	vs, err := violations.Collect()
@@ -235,7 +267,19 @@ func (ex *sparkExec) runPipeline(pp *PhysicalPlan, p *PhysicalPipeline, out *Det
 		out.Violations = append(out.Violations, v)
 		out.FixSets = append(out.FixSets, model.FixSet{Violation: v})
 	}
+	finishPipelineSpan(sp, instrumented, int64(len(vs)), 0, &detectNs, &genfixNs)
 	return nil
+}
+
+// finishPipelineSpan stamps a pipeline span's summary attributes. The UDF
+// timers are only reported when they were actually measured.
+func finishPipelineSpan(sp engine.Span, instrumented bool, violations, fixes int64, detectNs, genfixNs *atomic.Int64) {
+	sp.Attr(engine.AttrViolations, violations)
+	sp.Attr(engine.AttrFixes, fixes)
+	if instrumented {
+		sp.Attr(engine.AttrDetectNanos, detectNs.Load())
+		sp.Attr(engine.AttrGenFixNanos, genfixNs.Load())
+	}
 }
 
 // items produces the candidate items of a pipeline under its chosen
@@ -346,14 +390,29 @@ func dedupeResult(r *DetectResult) {
 	r.FixSets = outF
 }
 
-// DetectRule is the convenience entry point: plan, optimize and run one
-// rule over a relation on the dataflow backend.
-func DetectRule(ctx *engine.Context, r *Rule, rel *model.Relation) (*DetectResult, error) {
-	lp, err := PlanRule(r, rel)
+// compilePlan runs a logical planner and Optimize under one plan span, so
+// a tracer sees how long logical->physical compilation took and what the
+// optimizer decided (pipeline count, consolidated shared scans).
+func compilePlan(ctx *engine.Context, plan func() (*LogicalPlan, error)) (*PhysicalPlan, error) {
+	sp := ctx.Observer().BeginSpan(nil, "compile", engine.SpanPlan)
+	defer sp.End()
+	lp, err := plan()
 	if err != nil {
 		return nil, err
 	}
 	pp, err := Optimize(lp)
+	if err != nil {
+		return nil, err
+	}
+	sp.Attr(engine.AttrPipelines, int64(len(pp.Pipelines)))
+	sp.Attr(engine.AttrSharedScans, int64(pp.SharedScans))
+	return pp, nil
+}
+
+// DetectRule is the convenience entry point: plan, optimize and run one
+// rule over a relation on the dataflow backend.
+func DetectRule(ctx *engine.Context, r *Rule, rel *model.Relation) (*DetectResult, error) {
+	pp, err := compilePlan(ctx, func() (*LogicalPlan, error) { return PlanRule(r, rel) })
 	if err != nil {
 		return nil, err
 	}
@@ -363,11 +422,7 @@ func DetectRule(ctx *engine.Context, r *Rule, rel *model.Relation) (*DetectResul
 // DetectRules plans all rules over one relation as a single consolidated
 // plan and runs it.
 func DetectRules(ctx *engine.Context, rs []*Rule, rel *model.Relation) (*DetectResult, error) {
-	lp, err := PlanRules(rs, rel)
-	if err != nil {
-		return nil, err
-	}
-	pp, err := Optimize(lp)
+	pp, err := compilePlan(ctx, func() (*LogicalPlan, error) { return PlanRules(rs, rel) })
 	if err != nil {
 		return nil, err
 	}
@@ -376,11 +431,7 @@ func DetectRules(ctx *engine.Context, rs []*Rule, rel *model.Relation) (*DetectR
 
 // RunJobSpark validates, plans, optimizes and executes a job.
 func RunJobSpark(ctx *engine.Context, j *Job) (*DetectResult, error) {
-	lp, err := BuildPlan(j)
-	if err != nil {
-		return nil, err
-	}
-	pp, err := Optimize(lp)
+	pp, err := compilePlan(ctx, func() (*LogicalPlan, error) { return BuildPlan(j) })
 	if err != nil {
 		return nil, err
 	}

@@ -17,7 +17,7 @@ func Cartesian[A, B any](da *Dataset[A], db *Dataset[B]) *Dataset[JoinRow[A, B]]
 	if err != nil {
 		return errDataset[JoinRow[A, B]](ctx, err)
 	}
-	ctx.stats.recordsShuffled.Add(int64(len(right)) * int64(da.NumPartitions()))
+	ctx.obs.Count(MetricRecordsShuffled, int64(len(right))*int64(da.NumPartitions()))
 	return FlatMap(da, func(a A) []JoinRow[A, B] {
 		out := make([]JoinRow[A, B], len(right))
 		for i, b := range right {
@@ -36,7 +36,7 @@ func SelfCartesian[T any](d *Dataset[T]) *Dataset[PairOf[T]] {
 		return errDataset[PairOf[T]](d.ctx, err)
 	}
 	nParts := d.NumPartitions()
-	d.ctx.stats.recordsShuffled.Add(int64(len(all)) * int64(nParts))
+	d.ctx.obs.Count(MetricRecordsShuffled, int64(len(all))*int64(nParts))
 	// Index the elements so each partition can skip self-pairs globally.
 	type indexed struct {
 		pos int
@@ -68,7 +68,7 @@ func SelfCartesianUnique[T any](d *Dataset[T]) *Dataset[PairOf[T]] {
 		return errDataset[PairOf[T]](d.ctx, err)
 	}
 	nParts := d.NumPartitions()
-	d.ctx.stats.recordsShuffled.Add(int64(len(all)) * int64(nParts))
+	d.ctx.obs.Count(MetricRecordsShuffled, int64(len(all))*int64(nParts))
 	type indexed struct {
 		pos int
 		v   T

@@ -49,8 +49,9 @@ import (
 )
 
 // Stats accumulates execution counters for one Context: cheap atomic
-// totals plus a per-stage log. Read a consistent view with Snapshot, or the
-// individual totals with the accessor methods.
+// totals plus a per-stage log. It is the built-in default Observer — the
+// engine feeds it spans and counters through the Observer interface, and it
+// folds them into the flat totals Snapshot reports.
 //
 // Contention audit (fused stages report once per partition): the four hot
 // totals are sync/atomic counters touched once per stage or task, never per
@@ -78,8 +79,10 @@ type Stats struct {
 
 // StageStat describes the executions of one named stage: how many times it
 // ran, the partition tasks it executed, the records it moved across
-// partitions, and its cumulative wall time.
+// partitions, and its cumulative wall time. ID is the stage's first-seen
+// index — a stable, deterministic identity the per-stage report orders by.
 type StageStat struct {
+	ID              int
 	Name            string
 	Runs            int
 	Tasks           int64
@@ -130,7 +133,9 @@ func (s *Stats) Snapshot() Snapshot {
 }
 
 // String renders the snapshot as a small table for diagnostics (the
-// `bigdansing --stats` report).
+// `bigdansing --stats` report). Stages are ordered by their stage ID
+// (first-seen order), so the report is deterministic run to run — wall
+// times vary, row order does not.
 func (sn Snapshot) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "stages: %d, tasks: %d, records read: %d, records shuffled: %d\n",
@@ -143,62 +148,136 @@ func (sn Snapshot) String() string {
 		return b.String()
 	}
 	stages := append([]StageStat(nil), sn.PerStage...)
-	sort.SliceStable(stages, func(i, j int) bool { return stages[i].Wall > stages[j].Wall })
-	fmt.Fprintf(&b, "%-40s %6s %8s %12s %12s\n", "stage", "runs", "tasks", "shuffled", "wall")
+	sort.SliceStable(stages, func(i, j int) bool { return stages[i].ID < stages[j].ID })
+	fmt.Fprintf(&b, "%4s %-40s %6s %8s %12s %12s\n", "id", "stage", "runs", "tasks", "shuffled", "wall")
 	for _, st := range stages {
-		fmt.Fprintf(&b, "%-40s %6d %8d %12d %12s\n",
-			st.Name, st.Runs, st.Tasks, st.RecordsShuffled, st.Wall.Round(time.Microsecond))
+		fmt.Fprintf(&b, "%4d %-40s %6d %8d %12d %12s\n",
+			st.ID, st.Name, st.Runs, st.Tasks, st.RecordsShuffled, st.Wall.Round(time.Microsecond))
 	}
 	return b.String()
 }
 
 // Tasks returns the number of partition tasks executed.
+//
+// Deprecated: use Snapshot().Tasks; the accessor sprawl is replaced by the
+// Observer API plus Snapshot.
 func (s *Stats) Tasks() int64 { return s.tasks.Load() }
 
 // Stages returns the number of parallel stages executed.
+//
+// Deprecated: use Snapshot().Stages.
 func (s *Stats) Stages() int64 { return s.stages.Load() }
 
 // RecordsShuffled returns the number of records moved across partitions by
 // wide transformations.
+//
+// Deprecated: use Snapshot().RecordsShuffled.
 func (s *Stats) RecordsShuffled() int64 { return s.recordsShuffled.Load() }
 
 // RecordsRead returns the number of records ingested by Parallelize.
+//
+// Deprecated: use Snapshot().RecordsRead.
 func (s *Stats) RecordsRead() int64 { return s.recordsRead.Load() }
 
 // BytesSpilled returns the total bytes written to spill runs.
+//
+// Deprecated: use Snapshot().BytesSpilled.
 func (s *Stats) BytesSpilled() int64 { return s.bytesSpilled.Load() }
 
 // SpillRuns returns the number of spill run files written.
+//
+// Deprecated: use Snapshot().SpillRuns.
 func (s *Stats) SpillRuns() int64 { return s.spillRuns.Load() }
 
 // MergePasses returns the number of k-way merges executed over spill runs.
+//
+// Deprecated: use Snapshot().MergePasses.
 func (s *Stats) MergePasses() int64 { return s.mergePasses.Load() }
 
 // PeakReservedBytes returns the high-water mark of memory reserved against
 // the context's budget.
+//
+// Deprecated: use Snapshot().PeakReservedBytes.
 func (s *Stats) PeakReservedBytes() int64 { return s.peakReserved.Load() }
 
-// noteSpill folds one operator's spill activity into the totals.
-func (s *Stats) noteSpill(bytes, runs, merges int64) {
-	if bytes != 0 {
-		s.bytesSpilled.Add(bytes)
-	}
-	if runs != 0 {
-		s.spillRuns.Add(runs)
-	}
-	if merges != 0 {
-		s.mergePasses.Add(merges)
+// BeginSpan implements Observer: stage spans fold into the per-stage log
+// when they end, task spans count one task, every other kind is dropped
+// (Stats keeps totals, not trees). The task path returns a shared no-op
+// span, so the per-task cost is one atomic add and no allocation.
+func (s *Stats) BeginSpan(parent Span, name string, kind SpanKind) Span {
+	switch kind {
+	case SpanStage:
+		return &statsStageSpan{stats: s, name: name, start: time.Now()}
+	case SpanTask:
+		s.tasks.Add(1)
+		return discardSpan{}
+	default:
+		return discardSpan{}
 	}
 }
 
-// notePeakReserved raises the reservation high-water mark to at least v.
-func (s *Stats) notePeakReserved(v int64) {
-	for {
-		p := s.peakReserved.Load()
-		if v <= p || s.peakReserved.CompareAndSwap(p, v) {
-			return
+// Count implements Observer: flat counter deltas fold into the atomic
+// totals (the peak-reservation metric folds with max).
+func (s *Stats) Count(m Metric, v int64) {
+	if v == 0 {
+		return
+	}
+	switch m {
+	case MetricRecordsRead:
+		s.recordsRead.Add(v)
+	case MetricRecordsShuffled:
+		s.recordsShuffled.Add(v)
+	case MetricBytesSpilled:
+		s.bytesSpilled.Add(v)
+	case MetricSpillRuns:
+		s.spillRuns.Add(v)
+	case MetricMergePasses:
+		s.mergePasses.Add(v)
+	case MetricPeakReservedBytes:
+		for {
+			p := s.peakReserved.Load()
+			if v <= p || s.peakReserved.CompareAndSwap(p, v) {
+				return
+			}
 		}
 	}
+}
+
+// statsStageSpan accumulates one stage execution for the per-stage log. It
+// is owned by the goroutine driving the stage (runStage), so its fields
+// need no synchronization; End folds the totals.
+type statsStageSpan struct {
+	stats    *Stats
+	name     string
+	start    time.Time
+	tasks    int64
+	shuffled int64
+	ended    bool
+}
+
+func (sp *statsStageSpan) Attr(k Attr, v int64) {
+	switch k {
+	case AttrPartitions:
+		sp.tasks = v
+	case AttrRecordsShuffled:
+		sp.shuffled = v
+	}
+}
+
+func (sp *statsStageSpan) End() {
+	if sp.ended {
+		return
+	}
+	sp.ended = true
+	sp.stats.stages.Add(1)
+	sp.stats.recordsShuffled.Add(sp.shuffled)
+	sp.stats.record(StageStat{
+		Name:            sp.name,
+		Runs:            1,
+		Tasks:           sp.tasks,
+		RecordsShuffled: sp.shuffled,
+		Wall:            time.Since(sp.start),
+	})
 }
 
 // Reset zeroes all counters and clears the per-stage log.
@@ -233,6 +312,7 @@ func (s *Stats) record(st StageStat) {
 		agg.Wall += st.Wall
 		return
 	}
+	st.ID = len(s.perStage)
 	s.stageIdx[st.Name] = len(s.perStage)
 	s.perStage = append(s.perStage, st)
 }
@@ -244,6 +324,14 @@ func (s *Stats) record(st StageStat) {
 type Context struct {
 	parallelism int
 	stats       Stats
+
+	// obs receives every execution event; it is the context's own Stats by
+	// default, or a tee of Stats and the configured user Observer.
+	obs Observer
+	// instrumented records that a user Observer is installed, which turns
+	// on the (slightly costlier) fine-grained measurements layers above the
+	// engine take, like per-rule UDF timings.
+	instrumented bool
 
 	// mem arbitrates the memory budget; nil means unbounded, in which case
 	// every wide operator takes its in-memory fast path.
@@ -258,6 +346,13 @@ type Config struct {
 	// Parallelism is the number of workers; non-positive defaults to
 	// GOMAXPROCS.
 	Parallelism int
+	// Observer, when non-nil, additionally receives every execution event
+	// (spans for stages, tasks, plans, pipelines, repair phases; flat
+	// counters for reads and spills). The context's own Stats always keeps
+	// counting, so Snapshot stays truthful with or without an Observer.
+	// Install a *trace.Tracer here (or via cleanse.WithObserver) to capture
+	// the full span tree for EXPLAIN / Chrome-trace export.
+	Observer Observer
 	// MemoryBudgetBytes bounds the working memory of wide operators
 	// (shuffle buckets, group state, sort buffers). When a task cannot
 	// reserve memory under the budget it spills sorted runs to disk and
@@ -284,6 +379,11 @@ func NewWithConfig(cfg Config) *Context {
 		p = runtime.GOMAXPROCS(0)
 	}
 	c := &Context{parallelism: p}
+	c.obs = &c.stats
+	if cfg.Observer != nil {
+		c.obs = Tee(&c.stats, cfg.Observer)
+		c.instrumented = true
+	}
 	if cfg.MemoryBudgetBytes > 0 {
 		c.mem = spill.NewManager(cfg.MemoryBudgetBytes)
 		c.spillDir = cfg.SpillDir
@@ -300,6 +400,29 @@ func (c *Context) Parallelism() int { return c.parallelism }
 // Stats returns the context's statistics.
 func (c *Context) Stats() *Stats { return &c.stats }
 
+// Observer returns the context's event sink — its own Stats by default, or
+// the tee of Stats and the configured Observer. Layers above the engine
+// (planning, detection, repair, the cleansing loop) report their spans
+// through it so one installed Observer sees the whole run.
+func (c *Context) Observer() Observer { return c.obs }
+
+// Instrumented reports whether a user Observer is installed. Layers use it
+// to gate measurements that are not free (per-rule UDF timings), keeping
+// the default path unburdened.
+func (c *Context) Instrumented() bool { return c.instrumented }
+
+// AttachObserver tees o into the context's observer after construction,
+// for layers (cleanse.WithObserver) that receive an Observer without
+// building the Context themselves. Call it before running any dataflow on
+// the context; it is not safe concurrently with a running stage.
+func (c *Context) AttachObserver(o Observer) {
+	if o == nil || o == Discard {
+		return
+	}
+	c.obs = Tee(c.obs, o)
+	c.instrumented = true
+}
+
 // MemoryBudget returns the configured wide-operator memory budget in bytes
 // (0 when unbounded).
 func (c *Context) MemoryBudget() int64 { return c.mem.Budget() }
@@ -311,25 +434,32 @@ func (c *Context) MemoryManager() *spill.Manager { return c.mem }
 // taskCtx is the per-task handle a stage function receives. Fused operators
 // store their name in op before invoking user code, so a panic can be
 // attributed to the operator that raised it; shuffle tasks accumulate the
-// records they moved in shuffled.
+// records they moved in shuffled. recordsIn/recordsOut are plain fields the
+// operators set once per task (never per record) — runStage pushes them
+// onto the task's span when it ends, so tracing them costs nothing on the
+// record paths.
 type taskCtx struct {
-	part     int
-	op       string
-	shuffled int64
+	part       int
+	worker     int
+	op         string
+	shuffled   int64
+	recordsIn  int64
+	recordsOut int64
 }
 
 // runStage executes f for every partition index in [0, n) using at most
-// Parallelism workers, records the stage under name, and returns the first
-// task failure. A panic inside f is recovered and returned as an error
-// naming the partition (and, for fused stages, the originating operator),
-// so one bad record fails the stage rather than the process.
+// Parallelism workers, reports the stage (and each task) to the observer
+// under name, and returns the first task failure. A panic inside f is
+// recovered and returned as an error naming the partition (and, for fused
+// stages, the originating operator), so one bad record fails the stage
+// rather than the process. Spans are closed on every exit path, panics
+// included, so an observer never sees a leaked span.
 func (c *Context) runStage(name string, n int, f func(tk *taskCtx)) error {
 	if n == 0 {
 		return nil
 	}
-	start := time.Now()
-	c.stats.stages.Add(1)
-	c.stats.tasks.Add(int64(n))
+	sp := c.obs.BeginSpan(nil, name, SpanStage)
+	sp.Attr(AttrPartitions, int64(n))
 	workers := c.parallelism
 	if workers > n {
 		workers = n
@@ -341,12 +471,19 @@ func (c *Context) runStage(name string, n int, f func(tk *taskCtx)) error {
 		mu       sync.Mutex
 		firstEr  error
 	)
-	run := func(part int) (err error) {
-		tk := &taskCtx{part: part}
+	run := func(worker, part int) (err error) {
+		tsp := c.obs.BeginSpan(sp, name, SpanTask)
+		tk := &taskCtx{part: part, worker: worker}
 		defer func() {
 			if tk.shuffled != 0 {
 				shuffled.Add(tk.shuffled)
 			}
+			tsp.Attr(AttrPart, int64(part))
+			tsp.Attr(AttrWorker, int64(worker))
+			tsp.Attr(AttrRecordsIn, tk.recordsIn)
+			tsp.Attr(AttrRecordsOut, tk.recordsOut)
+			tsp.Attr(AttrRecordsShuffled, tk.shuffled)
+			tsp.End()
 			if r := recover(); r != nil {
 				if tk.op != "" {
 					err = fmt.Errorf("engine: task for partition %d panicked in %s: %v", part, tk.op, r)
@@ -360,14 +497,14 @@ func (c *Context) runStage(name string, n int, f func(tk *taskCtx)) error {
 	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				if err := run(i); err != nil {
+				if err := run(worker, i); err != nil {
 					mu.Lock()
 					if firstEr == nil {
 						firstEr = err
@@ -375,12 +512,11 @@ func (c *Context) runStage(name string, n int, f func(tk *taskCtx)) error {
 					mu.Unlock()
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
-	moved := shuffled.Load()
-	c.stats.recordsShuffled.Add(moved)
-	c.stats.record(StageStat{Name: name, Runs: 1, Tasks: int64(n), RecordsShuffled: moved, Wall: time.Since(start)})
+	sp.Attr(AttrRecordsShuffled, shuffled.Load())
+	sp.End()
 	return firstEr
 }
 

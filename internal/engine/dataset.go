@@ -78,7 +78,7 @@ func Parallelize[T any](ctx *Context, data []T, n int) *Dataset[T] {
 		}
 		parts[i] = data[lo:hi:hi]
 	}
-	ctx.stats.recordsRead.Add(int64(len(data)))
+	ctx.obs.Count(MetricRecordsRead, int64(len(data)))
 	return &Dataset[T]{ctx: ctx, state: dsDone, parts: parts}
 }
 
@@ -114,12 +114,14 @@ func (d *Dataset[T]) force() error {
 	n := plan.src.partsCount()
 	parts := make([][]T, n)
 	err := d.ctx.runStage(fusedStageName(plan.ops), n, func(tk *taskCtx) {
+		tk.recordsIn = int64(plan.src.partLen(tk.part))
 		var out []T
 		if plan.bounded {
 			out = make([]T, 0, plan.src.partLen(tk.part))
 		}
 		plan.feed(tk.part, tk, func(t T) { out = append(out, t) })
 		parts[tk.part] = out
+		tk.recordsOut = int64(len(out))
 	})
 	if err != nil {
 		d.fail(err)
@@ -297,6 +299,7 @@ func (d *Dataset[T]) Count() (int, error) {
 		n := int64(0)
 		feed(tk.part, tk, func(T) { n++ })
 		counts[tk.part] = n
+		tk.recordsIn = n
 	})
 	if err != nil {
 		return 0, err
@@ -421,7 +424,7 @@ func Repartition[T any](d *Dataset[T], n int) *Dataset[T] {
 	if err != nil {
 		return d
 	}
-	d.ctx.stats.recordsShuffled.Add(int64(len(all)))
+	d.ctx.obs.Count(MetricRecordsShuffled, int64(len(all)))
 	if n > len(all) && len(all) > 0 {
 		n = len(all)
 	}
@@ -467,6 +470,7 @@ func Reduce[T any](d *Dataset[T], f func(a, b T) T) (T, error) {
 			acc = f(acc, t)
 		})
 		partials[tk.part], hasAny[tk.part] = acc, ok
+		tk.recordsOut = 1
 	})
 	if err != nil {
 		return zero, err

@@ -50,10 +50,13 @@ type spillStats struct {
 	merges atomic.Int64
 }
 
-// flushInto records the totals (and the budget high-water mark) in st.
+// flushInto reports the totals (and the budget high-water mark) to the
+// context's observer.
 func (sp *spillStats) flushInto(ctx *Context) {
-	ctx.stats.noteSpill(sp.bytes.Load(), sp.runs.Load(), sp.merges.Load())
-	ctx.stats.notePeakReserved(ctx.mem.Peak())
+	ctx.obs.Count(MetricBytesSpilled, sp.bytes.Load())
+	ctx.obs.Count(MetricSpillRuns, sp.runs.Load())
+	ctx.obs.Count(MetricMergePasses, sp.merges.Load())
+	ctx.obs.Count(MetricPeakReservedBytes, ctx.mem.Peak())
 }
 
 // runOf is one spilled run holding records of a single destination.
@@ -533,6 +536,8 @@ func groupByKeyExternal[K comparable, V any](d *Dataset[Pair[K, V]], kc Codec[K]
 			return nil
 		})
 		out[tk.part] = res
+		tk.recordsIn = tk.shuffled
+		tk.recordsOut = int64(len(res))
 	})
 	if gerr == nil {
 		gerr = firstError(errs)
@@ -589,6 +594,8 @@ func reduceByKeyExternal[K comparable, V any](d *Dataset[Pair[K, V]], combine fu
 			return nil
 		})
 		out[tk.part] = res
+		tk.recordsIn = tk.shuffled
+		tk.recordsOut = int64(len(res))
 	})
 	if gerr == nil {
 		gerr = firstError(errs)

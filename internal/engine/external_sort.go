@@ -124,6 +124,7 @@ func scatterSpill[T any](
 			return nil
 		})
 		out[dst] = res
+		tk.recordsOut = int64(len(res))
 	})
 	if gerr == nil {
 		gerr = firstError(errs)

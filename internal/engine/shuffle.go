@@ -76,6 +76,7 @@ func shuffleByKey[K comparable, V any](d *Dataset[Pair[K, V]], n int) ([][]Pair[
 	scatter := make([][][]Pair[K, V], len(parts))
 	err = d.ctx.runStage("shuffle:scatter", len(parts), func(tk *taskCtx) {
 		in := parts[tk.part]
+		tk.recordsIn = int64(len(in))
 		scratch := grabScratch(len(in), n)
 		defer scratchPool.Put(scratch) // deferred so an operator panic still returns it
 		dsts, counts := scratch.dsts, scratch.counts
@@ -94,6 +95,7 @@ func shuffleByKey[K comparable, V any](d *Dataset[Pair[K, V]], n int) ([][]Pair[
 			local[dsts[i]] = append(local[dsts[i]], kv)
 		}
 		scatter[tk.part] = local
+		tk.recordsOut = int64(len(in))
 	})
 	if err != nil {
 		return nil, err
@@ -110,6 +112,7 @@ func shuffleByKey[K comparable, V any](d *Dataset[Pair[K, V]], n int) ([][]Pair[
 			bucket = append(bucket, scatter[src][dst]...)
 		}
 		tk.shuffled += int64(total)
+		tk.recordsOut = int64(total)
 		out[dst] = bucket
 	})
 	if gerr != nil {
@@ -148,6 +151,7 @@ func GroupByKey[K comparable, V any](d *Dataset[Pair[K, V]]) *Dataset[Pair[K, []
 		// runtime's specialized string fast path.
 		idx := make(map[K]int32, 64)
 		res := make([]Pair[K, []V], 0, 64)
+		tk.recordsIn = int64(len(buckets[p]))
 		for _, kv := range buckets[p] {
 			if gi, seen := idx[kv.Key]; seen {
 				res[gi].Value = append(res[gi].Value, kv.Value)
@@ -157,6 +161,7 @@ func GroupByKey[K comparable, V any](d *Dataset[Pair[K, V]]) *Dataset[Pair[K, []
 			}
 		}
 		out[p] = res
+		tk.recordsOut = int64(len(res))
 	})
 	if gerr != nil {
 		return errDataset[Pair[K, []V]](d.ctx, gerr)
@@ -245,7 +250,9 @@ func CoGroup[K comparable, A, B any](da *Dataset[Pair[K, A]], db *Dataset[Pair[K
 		for _, k := range order {
 			res = append(res, KV(k, *groups[k]))
 		}
+		tk.recordsIn = int64(len(ba[p]) + len(bb[p]))
 		out[p] = res
+		tk.recordsOut = int64(len(res))
 	})
 	if gerr != nil {
 		return errDataset[Pair[K, CoGrouped[A, B]]](ctx, gerr)

@@ -75,6 +75,7 @@ func RangePartitionBy[T any](d *Dataset[T], less func(a, b T) bool, n int) *Data
 	scatter := make([][][]T, len(dparts))
 	err = d.ctx.runStage("rangePartition:scatter", len(dparts), func(tk *taskCtx) {
 		in := dparts[tk.part]
+		tk.recordsIn = int64(len(in))
 		dsts := make([]uint32, len(in))
 		counts := make([]int, n)
 		for i, v := range in {
@@ -92,6 +93,7 @@ func RangePartitionBy[T any](d *Dataset[T], less func(a, b T) bool, n int) *Data
 			local[dsts[i]] = append(local[dsts[i]], v)
 		}
 		scatter[tk.part] = local
+		tk.recordsOut = int64(len(in))
 	})
 	if err != nil {
 		return errDataset[T](d.ctx, err)
@@ -108,6 +110,7 @@ func RangePartitionBy[T any](d *Dataset[T], less func(a, b T) bool, n int) *Data
 			bucket = append(bucket, scatter[src][dst]...)
 		}
 		tk.shuffled += int64(total)
+		tk.recordsOut = int64(total)
 		out[dst] = bucket
 	})
 	if gerr != nil {

@@ -142,9 +142,10 @@ func Fig8b(cfg Config) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		rep := res.Report()
 		x := rate * 100
-		t.Series[0].Points = append(t.Series[0].Points, Point{X: x, Value: res.DetectTime.Seconds()})
-		t.Series[1].Points = append(t.Series[1].Points, Point{X: x, Value: res.RepairTime.Seconds()})
+		t.Series[0].Points = append(t.Series[0].Points, Point{X: x, Value: rep.DetectTime.Seconds()})
+		t.Series[1].Points = append(t.Series[1].Points, Point{X: x, Value: rep.RepairTime.Seconds()})
 	}
 	t.Notes = append(t.Notes, "paper: violation detection takes >90% of cleansing time at every error rate")
 	return []*Table{t}, nil
@@ -175,7 +176,7 @@ func Fig12b(cfg Config) ([]*Table, error) {
 				return nil, err
 			}
 			t.Series[si].Points = append(t.Series[si].Points,
-				Point{X: rate * 100, Value: res.RepairTime.Seconds()})
+				Point{X: rate * 100, Value: res.Report().RepairTime.Seconds()})
 		}
 	}
 	t.Notes = append(t.Notes, "paper: parallel repair wins except at the smallest error rate (1%)")
@@ -252,7 +253,7 @@ func Table4(cfg Config) ([]*Table, error) {
 			q := datagen.Evaluate(tr, res.Clean)
 			precision.Series[si].Points = append(precision.Series[si].Points, Point{X: x, Value: q.Precision})
 			recall.Series[si].Points = append(recall.Series[si].Points, Point{X: x, Value: q.Recall})
-			iters.Series[si].Points = append(iters.Series[si].Points, Point{X: x, Value: float64(res.Iterations)})
+			iters.Series[si].Points = append(iters.Series[si].Points, Point{X: x, Value: float64(res.Report().Iterations)})
 		}
 		precision.Notes = append(precision.Notes,
 			fmt.Sprintf("combo %d = %v", ci+1, combo.specs))
@@ -278,7 +279,7 @@ func Table4(cfg Config) ([]*Table, error) {
 		dist.Series[si].Points = append(dist.Series[si].Points,
 			Point{X: 1, Value: q.AvgDistance},
 			Point{X: 2, Value: q.TotalDistance},
-			Point{X: 3, Value: float64(res.Iterations)})
+			Point{X: 3, Value: float64(res.Report().Iterations)})
 	}
 
 	precision.Notes = append(precision.Notes,

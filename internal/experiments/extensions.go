@@ -36,7 +36,7 @@ func ExtIncremental(cfg Config) ([]*Table, error) {
 				return nil, err
 			}
 			t.Series[si].Points = append(t.Series[si].Points,
-				Point{X: rate * 100, Value: res.DetectTime.Seconds()})
+				Point{X: rate * 100, Value: res.Report().DetectTime.Seconds()})
 		}
 	}
 	t.Notes = append(t.Notes, "extension: incremental detection re-processes only repaired blocks after the first pass")

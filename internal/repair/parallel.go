@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"bigdansing/internal/engine"
 	"bigdansing/internal/graph"
 	"bigdansing/internal/model"
 )
@@ -22,6 +23,10 @@ type Options struct {
 	// MaxReconcileIters bounds the master/slave reconciliation loop
 	// (<=0: 10).
 	MaxReconcileIters int
+	// Observer, when set, receives the repair's phase spans (component
+	// discovery, the parallel instances, reconciliation rounds). Nil means
+	// no reporting.
+	Observer engine.Observer
 }
 
 // Report describes one parallel repair run.
@@ -57,19 +62,28 @@ func RepairParallel(fixSets []model.FixSet, algo Algorithm, opts Options) ([]Ass
 	if opts.MaxReconcileIters <= 0 {
 		opts.MaxReconcileIters = 10
 	}
+	obs := opts.Observer
+	if obs == nil {
+		obs = engine.Discard
+	}
 	report := &Report{}
 	if len(fixSets) == 0 {
 		return nil, report, nil
 	}
+	sp := obs.BeginSpan(nil, "repair", engine.SpanRepair)
+	defer sp.End()
 
 	// 1-2. Connected components over interned cell IDs (parallel
 	// union-find); the per-fix-set cell keys are reused for splitting.
+	csp := obs.BeginSpan(sp, "components", engine.SpanRepair)
 	cc, cellKeys := fixSetComponents(fixSets, opts.Parallelism)
 	byComp := map[int64][]int{}
 	for i := range fixSets {
 		byComp[cc[i]] = append(byComp[cc[i]], i)
 	}
 	report.Components = len(byComp)
+	csp.Attr(engine.AttrComponents, int64(len(byComp)))
+	csp.End()
 
 	compIDs := make([]int64, 0, len(byComp))
 	for id := range byComp {
@@ -77,10 +91,15 @@ func RepairParallel(fixSets []model.FixSet, algo Algorithm, opts Options) ([]Ass
 	}
 	sort.Slice(compIDs, func(i, j int) bool { return compIDs[i] < compIDs[j] })
 
-	// 3-4. Repair instances in parallel.
+	// 3-4. Repair instances in parallel. Instance spans pass their parent
+	// explicitly — they begin concurrently, so the observer's scoped
+	// nesting cannot apply. Per-slot conflict counts are summed after the
+	// join; the instances never write shared state.
+	isp := obs.BeginSpan(sp, "instances", engine.SpanRepair)
 	results := make([][]Assignment, len(compIDs))
 	errs := make([]error, len(compIDs))
 	splits := make([]bool, len(compIDs))
+	conflicts := make([]int, len(compIDs))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, opts.Parallelism)
 	for i, id := range compIDs {
@@ -89,7 +108,12 @@ func RepairParallel(fixSets []model.FixSet, algo Algorithm, opts Options) ([]Ass
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			esp := obs.BeginSpan(isp, "instance", engine.SpanRepair)
 			defer func() {
+				esp.Attr(engine.AttrPart, int64(slot))
+				esp.Attr(engine.AttrAssignments, int64(len(results[slot])))
+				esp.Attr(engine.AttrConflicts, int64(conflicts[slot]))
+				esp.End()
 				if r := recover(); r != nil {
 					errs[slot] = fmt.Errorf("repair: instance for component %d panicked: %v", compID, r)
 				}
@@ -102,8 +126,8 @@ func RepairParallel(fixSets []model.FixSet, algo Algorithm, opts Options) ([]Ass
 			}
 			if opts.MaxComponentSize > 0 && len(comp) > opts.MaxComponentSize {
 				splits[slot] = true
-				as, conflicts, err := repairSplit(comp, keys, algo, opts)
-				report.Conflicts += conflicts
+				as, nc, err := repairSplit(comp, keys, algo, opts, obs, esp)
+				conflicts[slot] = nc
 				results[slot], errs[slot] = as, err
 				return
 			}
@@ -112,6 +136,7 @@ func RepairParallel(fixSets []model.FixSet, algo Algorithm, opts Options) ([]Ass
 		}(i, id)
 	}
 	wg.Wait()
+	isp.End()
 	var all []Assignment
 	for i := range results {
 		if errs[i] != nil {
@@ -120,19 +145,26 @@ func RepairParallel(fixSets []model.FixSet, algo Algorithm, opts Options) ([]Ass
 		if splits[i] {
 			report.SplitComponents++
 		}
+		report.Conflicts += conflicts[i]
 		all = append(all, results[i]...)
 	}
 	all = dedupeAssignments(all)
 	sortAssignments(all)
 	report.Assignments = len(all)
+	sp.Attr(engine.AttrComponents, int64(report.Components))
+	sp.Attr(engine.AttrSplitComponents, int64(report.SplitComponents))
+	sp.Attr(engine.AttrConflicts, int64(report.Conflicts))
+	sp.Attr(engine.AttrAssignments, int64(report.Assignments))
 	return all, report, nil
 }
 
 // repairSplit handles one oversized component: split it k-ways with the
 // greedy hypergraph partitioner, run the algorithm per part, and reconcile
 // under the master-immutable protocol. keys carries each fix set's cell
-// keys, parallel to comp.
-func repairSplit(comp []model.FixSet, keys [][]model.CellKey, algo Algorithm, opts Options) ([]Assignment, int, error) {
+// keys, parallel to comp. Each reconciliation iteration is reported as a
+// span under parent (explicitly — the caller runs concurrently with its
+// sibling instances).
+func repairSplit(comp []model.FixSet, keys [][]model.CellKey, algo Algorithm, opts Options, obs engine.Observer, parent engine.Span) ([]Assignment, int, error) {
 	edges := make([]graph.HyperedgeOf[model.CellKey], len(comp))
 	for i := range comp {
 		edges[i] = graph.HyperedgeOf[model.CellKey]{ID: int64(i), Nodes: keys[i]}
@@ -159,6 +191,8 @@ func repairSplit(comp []model.FixSet, keys [][]model.CellKey, algo Algorithm, op
 	}
 
 	for iter := 0; iter < opts.MaxReconcileIters; iter++ {
+		rsp := obs.BeginSpan(parent, "reconcile", engine.SpanRepair)
+		conflictsBefore := conflicts
 		anyPending := false
 		progressed := false
 		for pi := range pending {
@@ -168,6 +202,7 @@ func repairSplit(comp []model.FixSet, keys [][]model.CellKey, algo Algorithm, op
 			anyPending = true
 			as, err := algo.Repair(pending[pi])
 			if err != nil {
+				rsp.End()
 				return nil, conflicts, err
 			}
 			var redo []model.FixSet
@@ -205,6 +240,9 @@ func repairSplit(comp []model.FixSet, keys [][]model.CellKey, algo Algorithm, op
 			pending[pi] = redo
 			pendingKeys[pi] = redoKeys
 		}
+		rsp.Attr(engine.AttrConflicts, int64(conflicts-conflictsBefore))
+		rsp.Attr(engine.AttrAssignments, int64(len(accepted)))
+		rsp.End()
 		if !anyPending {
 			break
 		}

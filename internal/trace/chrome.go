@@ -1,0 +1,111 @@
+// Chrome trace-event exporter: writes the span tree in the JSON format
+// consumed by Perfetto (ui.perfetto.dev) and chrome://tracing. Driver-side
+// spans (stages, pipelines, plan, repair phases) land on track 0; each
+// engine worker gets its own track so the per-worker task timeline reads
+// like the Spark UI's executor view.
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+
+	"bigdansing/internal/engine"
+)
+
+// chromeEvent is one entry of the traceEvents array. Complete spans use
+// ph "X" with ts/dur in microseconds; metadata rows (process and thread
+// names) use ph "M".
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// driverTid is the track for driver-side spans; worker w maps to track
+// 1+w so worker 0 is never confused with the driver.
+const driverTid = 0
+
+func spanTid(s *Span) int {
+	if s.kind == engine.SpanTask {
+		if w, ok := s.AttrValue(engine.AttrWorker); ok {
+			return 1 + int(w)
+		}
+	}
+	return driverTid
+}
+
+// WriteChromeTrace writes the tracer's span tree as Chrome trace-event
+// JSON. Call it after Finish.
+func WriteChromeTrace(w io.Writer, t *Tracer) error {
+	spans := t.Spans()
+
+	maxWorker := -1
+	for _, s := range spans {
+		if s.kind == engine.SpanTask {
+			if wk, ok := s.AttrValue(engine.AttrWorker); ok && int(wk) > maxWorker {
+				maxWorker = int(wk)
+			}
+		}
+	}
+
+	events := make([]chromeEvent, 0, len(spans)+maxWorker+3)
+	events = append(events, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 0, Tid: driverTid,
+		Args: map[string]any{"name": "bigdansing"},
+	})
+	events = append(events, chromeEvent{
+		Name: "thread_name", Ph: "M", Pid: 0, Tid: driverTid,
+		Args: map[string]any{"name": "driver"},
+	})
+	for wk := 0; wk <= maxWorker; wk++ {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: 1 + wk,
+			Args: map[string]any{"name": "worker " + strconv.Itoa(wk)},
+		})
+	}
+
+	for _, s := range spans {
+		args := make(map[string]any, 4)
+		args["span_id"] = s.ID()
+		args["parent_id"] = s.ParentID()
+		for k := engine.Attr(0); k < engine.NumAttrs; k++ {
+			if v, ok := s.AttrValue(k); ok {
+				args[k.String()] = v
+			}
+		}
+		events = append(events, chromeEvent{
+			Name: s.name,
+			Cat:  s.kind.String(),
+			Ph:   "X",
+			Ts:   float64(s.start.Microseconds()),
+			Dur:  microseconds(s),
+			Pid:  0,
+			Tid:  spanTid(s),
+			Args: args,
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// microseconds rounds a span's duration up to a representable width so
+// even sub-microsecond spans stay visible in the viewer.
+func microseconds(s *Span) float64 {
+	us := float64(s.dur.Microseconds())
+	if us < 1 {
+		us = float64(s.dur.Nanoseconds()) / 1000
+	}
+	return us
+}

@@ -1,0 +1,140 @@
+// EXPLAIN ANALYZE-style renderer: prints the span tree as an annotated
+// plan, one line per span, with the attributes that were reported. Task
+// spans are not printed individually — they are aggregated into their
+// stage's line (tasks=N in=Σ out=Σ) so the tree stays readable and
+// deterministic regardless of worker scheduling.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"bigdansing/internal/engine"
+)
+
+// treeAttrs is the print order of span attributes; durations come last on
+// each line. AttrPart and AttrWorker are per-task and never printed.
+var treeAttrs = []engine.Attr{
+	engine.AttrPipelines, engine.AttrSharedScans,
+	engine.AttrPartitions,
+	engine.AttrRecordsIn, engine.AttrRecordsOut, engine.AttrRecordsShuffled,
+	engine.AttrBytesSpilled, engine.AttrSpillRuns, engine.AttrMergePasses,
+	engine.AttrViolations, engine.AttrFixes,
+	engine.AttrDetectNanos, engine.AttrGenFixNanos,
+	engine.AttrComponents, engine.AttrSplitComponents,
+	engine.AttrConflicts, engine.AttrAssignments,
+}
+
+// WriteTree renders the tracer's span tree. Call it after Finish.
+func WriteTree(w io.Writer, t *Tracer) error {
+	spans := t.Spans()
+	children := make(map[int][]*Span, len(spans))
+	byID := make(map[int]*Span, len(spans))
+	for _, s := range spans {
+		byID[s.ID()] = s
+		if s.ParentID() >= 0 {
+			children[s.ParentID()] = append(children[s.ParentID()], s)
+		}
+	}
+
+	var render func(s *Span, prefix string, last bool) error
+	render = func(s *Span, prefix string, last bool) error {
+		connector, childPrefix := "", ""
+		if s.ParentID() >= 0 {
+			if last {
+				connector, childPrefix = prefix+"`- ", prefix+"   "
+			} else {
+				connector, childPrefix = prefix+"|- ", prefix+"|  "
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s%s\n", connector, spanLine(s, children[s.ID()])); err != nil {
+			return err
+		}
+		kids := nonTask(children[s.ID()])
+		for i, c := range kids {
+			if err := render(c, childPrefix, i == len(kids)-1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if root, ok := byID[0]; ok {
+		if err := render(root, "", true); err != nil {
+			return err
+		}
+	}
+
+	// Footer: the run-wide counters, so per-operator numbers above can be
+	// reconciled with the flat Stats totals. Shuffle volume reaches Stats
+	// through stage spans, not Count, so fold the stage attributes in the
+	// same way Stats does.
+	var totals [engine.NumMetrics]int64
+	for m := engine.Metric(0); m < engine.NumMetrics; m++ {
+		totals[m] = t.CountValue(m)
+	}
+	for _, s := range spans {
+		if s.kind == engine.SpanStage {
+			if v, ok := s.AttrValue(engine.AttrRecordsShuffled); ok {
+				totals[engine.MetricRecordsShuffled] += v
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "totals:"); err != nil {
+		return err
+	}
+	for m := engine.Metric(0); m < engine.NumMetrics; m++ {
+		if v := totals[m]; v != 0 {
+			if _, err := fmt.Fprintf(w, " %s=%d", m, v); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func nonTask(spans []*Span) []*Span {
+	out := spans[:0:0]
+	for _, s := range spans {
+		if s.kind != engine.SpanTask {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// spanLine formats one span: kind, name, attributes, task aggregate (for
+// stages), wall time.
+func spanLine(s *Span, kids []*Span) string {
+	var b strings.Builder
+	if s.kind == engine.SpanRun || strings.HasPrefix(s.name, s.kind.String()) {
+		// "round 3" already says it is a round; don't print "round round 3".
+		b.WriteString(s.name)
+	} else {
+		fmt.Fprintf(&b, "%s %s", s.kind, s.name)
+	}
+	for _, k := range treeAttrs {
+		if v, ok := s.AttrValue(k); ok {
+			fmt.Fprintf(&b, " %s=%d", k, v)
+		}
+	}
+	if s.kind == engine.SpanStage {
+		var tasks, in, out int64
+		for _, c := range kids {
+			if c.kind != engine.SpanTask {
+				continue
+			}
+			tasks++
+			if v, ok := c.AttrValue(engine.AttrRecordsIn); ok {
+				in += v
+			}
+			if v, ok := c.AttrValue(engine.AttrRecordsOut); ok {
+				out += v
+			}
+		}
+		fmt.Fprintf(&b, " tasks=%d in=%d out=%d", tasks, in, out)
+	}
+	fmt.Fprintf(&b, " (%v)", s.dur)
+	return b.String()
+}

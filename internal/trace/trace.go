@@ -1,0 +1,200 @@
+// Package trace is the span-tree implementation of engine.Observer: it
+// records every stage, task, plan compilation, detection pipeline and
+// repair phase of a run as a timed span with enum-keyed attributes, and
+// exports the tree as an EXPLAIN ANALYZE-style annotated plan (WriteTree)
+// or Chrome trace-event JSON loadable in Perfetto (WriteChromeTrace).
+//
+// The tracer is lock-cheap by design: beginning or ending a span takes one
+// short critical section on a plain mutex (spans are appended to a slice,
+// never indexed by name), attributes are plain stores into a fixed array
+// owned by the reporting goroutine, and nothing at all happens per record —
+// the engine reports record counts once per task.
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bigdansing/internal/engine"
+)
+
+// Span is one recorded region of work. Its fields are written by the
+// goroutine that owns the span (Attr/End) and read after Finish, when the
+// run's goroutines have been joined, so plain fields suffice.
+type Span struct {
+	id     int32
+	parent int32 // -1 for the root
+	name   string
+	kind   engine.SpanKind
+	start  time.Duration // offset from the tracer's epoch
+	dur    time.Duration
+	attrs  [engine.NumAttrs]int64
+	mask   uint32 // bit i set when attrs[i] was reported
+	scoped bool   // on the tracer's scope stack until End
+	ended  atomic.Bool
+
+	tr *Tracer
+}
+
+// ID returns the span's index in begin order (the root is 0).
+func (s *Span) ID() int { return int(s.id) }
+
+// ParentID returns the parent span's ID, or -1 for the root.
+func (s *Span) ParentID() int { return int(s.parent) }
+
+// Name returns the operator or phase name the span was begun with.
+func (s *Span) Name() string { return s.name }
+
+// Kind returns the span's kind.
+func (s *Span) Kind() engine.SpanKind { return s.kind }
+
+// Start returns the span's begin time as an offset from the run epoch.
+func (s *Span) Start() time.Duration { return s.start }
+
+// Duration returns the span's wall time (zero until End).
+func (s *Span) Duration() time.Duration { return s.dur }
+
+// AttrValue returns one attribute and whether it was reported.
+func (s *Span) AttrValue(k engine.Attr) (int64, bool) {
+	if k >= engine.NumAttrs {
+		return 0, false
+	}
+	return s.attrs[k], s.mask&(1<<uint(k)) != 0
+}
+
+// Attr implements engine.Span.
+func (s *Span) Attr(k engine.Attr, v int64) {
+	if k >= engine.NumAttrs || s.ended.Load() {
+		return
+	}
+	s.attrs[k] = v
+	s.mask |= 1 << uint(k)
+}
+
+// End implements engine.Span. It is idempotent: the first call stamps the
+// duration and pops the span from the tracer's scope stack; later calls
+// (e.g. a deferred End racing a panic path) are no-ops.
+func (s *Span) End() {
+	if !s.ended.CompareAndSwap(false, true) {
+		return
+	}
+	s.dur = s.tr.since() - s.start
+	if s.scoped {
+		s.tr.popScope(s)
+	}
+}
+
+// Tracer records a span tree for one run. It implements engine.Observer;
+// install it with engine.Config.Observer or cleanse.WithObserver. Safe for
+// concurrent use by the engine's worker goroutines.
+type Tracer struct {
+	epoch time.Time
+
+	mu    sync.Mutex
+	spans []*Span
+	scope []*Span // open nil-parent spans, innermost last
+	root  *Span
+
+	counts [engine.NumMetrics]atomic.Int64
+}
+
+// New starts a tracer with an open root span named "run".
+func New() *Tracer {
+	t := &Tracer{epoch: time.Now()}
+	t.root = &Span{id: 0, parent: -1, name: "run", kind: engine.SpanRun, tr: t}
+	t.spans = []*Span{t.root}
+	return t
+}
+
+func (t *Tracer) since() time.Duration { return time.Since(t.epoch) }
+
+// BeginSpan implements engine.Observer. A nil parent nests the span under
+// the tracer's current scope — the innermost open span begun with a nil
+// parent (ultimately the root). Such scoped spans must begin and end in
+// LIFO order, which holds because the layers that use them (cleansing
+// round -> pipeline -> engine stage) execute sequentially on the driver.
+// Concurrent spans (stage tasks, parallel repair instances) pass their
+// parent explicitly and never touch the scope stack.
+func (t *Tracer) BeginSpan(parent engine.Span, name string, kind engine.SpanKind) engine.Span {
+	start := t.since()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sp := &Span{id: int32(len(t.spans)), name: name, kind: kind, start: start, tr: t}
+	if p, ok := parent.(*Span); ok && p != nil {
+		sp.parent = p.id
+	} else {
+		sp.parent = t.root.id
+		if n := len(t.scope); n > 0 {
+			sp.parent = t.scope[n-1].id
+		}
+		sp.scoped = true
+		t.scope = append(t.scope, sp)
+	}
+	t.spans = append(t.spans, sp)
+	return sp
+}
+
+// popScope removes sp (and, defensively, anything begun after it that
+// leaked) from the scope stack.
+func (t *Tracer) popScope(sp *Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := len(t.scope) - 1; i >= 0; i-- {
+		if t.scope[i] == sp {
+			t.scope = t.scope[:i]
+			return
+		}
+	}
+}
+
+// Count implements engine.Observer. MetricPeakReservedBytes folds with max,
+// everything else with sum.
+func (t *Tracer) Count(m engine.Metric, v int64) {
+	if m >= engine.NumMetrics {
+		return
+	}
+	c := &t.counts[m]
+	if m == engine.MetricPeakReservedBytes {
+		for {
+			cur := c.Load()
+			if v <= cur || c.CompareAndSwap(cur, v) {
+				return
+			}
+		}
+	}
+	c.Add(v)
+}
+
+// CountValue returns one folded run-wide counter.
+func (t *Tracer) CountValue(m engine.Metric) int64 {
+	if m >= engine.NumMetrics {
+		return 0
+	}
+	return t.counts[m].Load()
+}
+
+// Finish closes the root span (and, defensively, any span left open by a
+// crashed layer) so exporters see a complete tree. Call it once, after the
+// traced run's goroutines have been joined.
+func (t *Tracer) Finish() {
+	t.mu.Lock()
+	open := make([]*Span, 0, len(t.scope)+1)
+	open = append(open, t.scope...)
+	t.mu.Unlock()
+	for i := len(open) - 1; i >= 0; i-- {
+		open[i].End()
+	}
+	t.root.End()
+}
+
+// Spans returns the recorded spans in begin order (root first). The result
+// is a snapshot of the slice; the spans themselves are shared, so callers
+// should export only after Finish.
+func (t *Tracer) Spans() []*Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}

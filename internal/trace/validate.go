@@ -1,0 +1,72 @@
+// A small Chrome trace-event schema validator, used by the traced-e2e CI
+// step (make test-trace) to assert that what the CLI emits is something
+// Perfetto will actually load. It checks the JSON-object form of the
+// format: a traceEvents array whose entries carry a name, a known phase,
+// non-negative timestamps and integer pid/tid.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+type rawEvent struct {
+	Name *string         `json:"name"`
+	Ph   string          `json:"ph"`
+	Ts   *float64        `json:"ts"`
+	Dur  *float64        `json:"dur"`
+	Pid  *int            `json:"pid"`
+	Tid  *int            `json:"tid"`
+	Args json.RawMessage `json:"args"`
+}
+
+type rawTrace struct {
+	TraceEvents *[]rawEvent `json:"traceEvents"`
+}
+
+// validPhases is the subset of trace-event phases the validator admits:
+// complete spans, begin/end pairs, instants, counters and metadata —
+// everything an exporter of ours could plausibly emit.
+var validPhases = map[string]bool{
+	"X": true, "B": true, "E": true, "i": true, "I": true, "C": true, "M": true,
+}
+
+// ValidateChromeTrace checks data against the Chrome trace-event format
+// and returns the first problem found, or nil if the trace is loadable.
+func ValidateChromeTrace(data []byte) error {
+	var tr rawTrace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return fmt.Errorf("trace: not valid JSON: %w", err)
+	}
+	if tr.TraceEvents == nil {
+		return fmt.Errorf("trace: missing traceEvents array")
+	}
+	if len(*tr.TraceEvents) == 0 {
+		return fmt.Errorf("trace: traceEvents is empty")
+	}
+	for i, ev := range *tr.TraceEvents {
+		if !validPhases[ev.Ph] {
+			return fmt.Errorf("trace: event %d has unknown phase %q", i, ev.Ph)
+		}
+		if ev.Name == nil || *ev.Name == "" {
+			return fmt.Errorf("trace: event %d has no name", i)
+		}
+		if ev.Pid == nil || ev.Tid == nil {
+			return fmt.Errorf("trace: event %d (%s) lacks pid/tid", i, *ev.Name)
+		}
+		switch ev.Ph {
+		case "X":
+			if ev.Ts == nil || *ev.Ts < 0 {
+				return fmt.Errorf("trace: event %d (%s) has a missing or negative ts", i, *ev.Name)
+			}
+			if ev.Dur != nil && *ev.Dur < 0 {
+				return fmt.Errorf("trace: event %d (%s) has a negative dur", i, *ev.Name)
+			}
+		case "M":
+			if len(ev.Args) == 0 {
+				return fmt.Errorf("trace: metadata event %d (%s) has no args", i, *ev.Name)
+			}
+		}
+	}
+	return nil
+}
