@@ -3,9 +3,9 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check fmt vet build test race bench test-spill test-trace
+.PHONY: check fmt vet build test race bench test-spill test-trace test-serve deprecations
 
-check: fmt vet build test race
+check: fmt vet build test race deprecations
 
 # gofmt -l prints nonconforming files; any output fails the target.
 fmt:
@@ -45,6 +45,28 @@ test-trace:
 	$(GO) test -run 'Explain|Trace' ./cmd/bigdansing/
 	$(GO) test -race ./internal/trace/...
 	$(GO) test -race -run 'Observer' ./internal/engine/
+
+# Streaming service subsystem: the session lifecycle in cleanse, the HTTP
+# session host, and the race check over the queue/worker/drain paths.
+test-serve:
+	$(GO) test -run 'Session|Open' ./internal/cleanse/
+	$(GO) test ./internal/serve/
+	$(GO) test -race ./internal/serve/
+	$(GO) test -race -run 'Session' ./internal/cleanse/
+
+# deprecations fails when code references the deprecated engine.Stats
+# getters (use Stats().Snapshot() fields instead). Allowed: the getters
+# themselves (context.go), their compatibility test (observer_test.go),
+# and internal/mapred plus its callers — mapred.Stats is a different type
+# whose accessors legitimately share these names.
+deprecations:
+	@matches="$$(grep -rnE '\.Stats\(\)\.(Stages|Tasks|RecordsShuffled|RecordsRead|BytesSpilled|SpillRuns|MergePasses|PeakReservedBytes)\(\)' \
+		--include='*.go' cmd examples internal *.go \
+		| grep -vE 'internal/engine/context\.go|internal/engine/observer_test\.go|internal/mapred/|internal/experiments/extensions\.go' || true)"; \
+	if [ -n "$$matches" ]; then \
+		echo "deprecated engine.Stats getters referenced (use Stats().Snapshot()):"; \
+		echo "$$matches"; exit 1; \
+	fi
 
 bench:
 	$(GO) test -run xxx -bench 'Table2Datasets|Fig9' -benchtime 1x -benchmem .

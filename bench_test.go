@@ -93,8 +93,11 @@ func BenchmarkFig8aCleansing(b *testing.B) {
 		ctx := engine.New(8)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			cleaner := cleanse.NewCleaner(ctx, []*core.Rule{rule},
+			cleaner, err := cleanse.NewCleaner(ctx, []*core.Rule{rule},
 				cleanse.WithAlgorithm(algo), cleanse.WithParallelRepair(repair.Options{}))
+			if err != nil {
+				b.Fatal(err)
+			}
 			if _, err := cleaner.Clean(rel); err != nil {
 				b.Fatal(err)
 			}
@@ -123,8 +126,11 @@ func BenchmarkFig8bErrorRates(b *testing.B) {
 		b.Run(fmt.Sprintf("err-%g", rate*100), func(b *testing.B) {
 			ctx := engine.New(8)
 			for i := 0; i < b.N; i++ {
-				cleaner := cleanse.NewCleaner(ctx, []*core.Rule{rule},
+				cleaner, err := cleanse.NewCleaner(ctx, []*core.Rule{rule},
 					cleanse.WithParallelRepair(repair.Options{}))
+				if err != nil {
+					b.Fatal(err)
+				}
 				if _, err := cleaner.Clean(rel); err != nil {
 					b.Fatal(err)
 				}
@@ -386,7 +392,10 @@ func BenchmarkTable4Quality(b *testing.B) {
 	ctx := engine.New(8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cleaner := cleanse.NewCleaner(ctx, ruleSet, cleanse.WithParallelRepair(repair.Options{}))
+		cleaner, err := cleanse.NewCleaner(ctx, ruleSet, cleanse.WithParallelRepair(repair.Options{}))
+		if err != nil {
+			b.Fatal(err)
+		}
 		res, err := cleaner.Clean(truth.Dirty)
 		if err != nil {
 			b.Fatal(err)

@@ -38,6 +38,11 @@ func main() {
 }
 
 func run(args []string, out io.Writer) error {
+	// Subcommands come first; everything else is the classic flag-driven
+	// one-shot pipeline.
+	if len(args) > 0 && args[0] == "serve" {
+		return runServe(args[1:], out)
+	}
 	fs := flag.NewFlagSet("bigdansing", flag.ContinueOnError)
 	var (
 		input     = fs.String("input", "", "input CSV file (required)")
@@ -230,7 +235,10 @@ func run(args []string, out io.Writer) error {
 		if *parallel {
 			opts = append(opts, cleanse.WithParallelRepair(repair.Options{}))
 		}
-		cleaner := cleanse.NewCleaner(ctx, ruleSet, opts...)
+		cleaner, err := cleanse.NewCleaner(ctx, ruleSet, opts...)
+		if err != nil {
+			return err
+		}
 		res, err := cleaner.Clean(rel)
 		if err != nil {
 			return err

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"bigdansing/internal/serve"
+)
+
+// runServe implements `bigdansing serve`: a long-running HTTP service
+// hosting many named streaming cleanse sessions (see internal/serve for the
+// API). SIGINT/SIGTERM trigger a graceful drain — queued ingest batches are
+// processed, every session gets a final flush, and only then does the
+// process exit.
+func runServe(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bigdansing serve", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", "127.0.0.1:8090", "listen address")
+		workers = fs.Int("workers", 4, "dataflow parallelism of each session's engine context")
+		queue   = fs.Int("queue", 64, "per-session bounded ingest queue depth (full queue -> 429)")
+		quiet   = fs.Bool("quiet", false, "suppress per-session lifecycle logging")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logf := func(format string, a ...any) { fmt.Fprintf(out, format+"\n", a...) }
+	if *quiet {
+		logf = nil
+	}
+	srv := serve.New(serve.Config{Workers: *workers, QueueDepth: *queue, Logf: logf})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "bigdansing serve: listening on http://%s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Serve(ctx, ln); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "bigdansing serve: drained, bye")
+	return nil
+}

@@ -59,10 +59,13 @@ func main() {
 		ruleSet = append(ruleSet, r)
 	}
 
-	cleaner := cleanse.NewCleaner(engine.New(8), ruleSet,
+	cleaner, err := cleanse.NewCleaner(engine.New(8), ruleSet,
 		cleanse.WithParallelRepair(repair.Options{}),
 		cleanse.WithIncremental(), // later iterations only re-detect repaired blocks
 	)
+	if err != nil {
+		log.Fatal(err)
+	}
 	t0 := time.Now()
 	res, err := cleaner.Clean(truth.Dirty)
 	if err != nil {

@@ -84,14 +84,18 @@ func main() {
 	}
 
 	// Full cleansing: iterate detection and repair until clean.
-	cleaner := cleanse.NewCleaner(ctx, []*core.Rule{phiF},
+	cleaner, err := cleanse.NewCleaner(ctx, []*core.Rule{phiF},
 		cleanse.WithParallelRepair(repair.Options{}))
+	if err != nil {
+		log.Fatal(err)
+	}
 	result, err := cleaner.Clean(data)
 	if err != nil {
 		log.Fatal(err)
 	}
+	rep := result.Report()
 	fmt.Printf("\ncleansing phiF: %d violations -> %d in %d iteration(s)\n",
-		result.InitialViolations, result.RemainingViolations, result.Iterations)
+		rep.InitialViolations, rep.RemainingViolations, rep.Iterations)
 	fmt.Println("repaired tuples:")
 	for _, t := range result.Clean.Tuples {
 		fmt.Println(" ", t)

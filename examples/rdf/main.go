@@ -77,12 +77,15 @@ func main() {
 		fmt.Println(" ", v)
 	}
 
-	cleaner := cleanse.NewCleaner(ctx, []*core.Rule{rule}, cleanse.WithParallelRepair(repair.Options{}))
+	cleaner, err := cleanse.NewCleaner(ctx, []*core.Rule{rule}, cleanse.WithParallelRepair(repair.Options{}))
+	if err != nil {
+		log.Fatal(err)
+	}
 	result, err := cleaner.Clean(students)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nafter repair (%d iteration(s)):\n", result.Iterations)
+	fmt.Printf("\nafter repair (%d iteration(s)):\n", result.Report().Iterations)
 	for _, t := range result.Clean.Tuples {
 		fmt.Printf("  %s: university=%s advisor=%s\n", t.Cell(0), t.Cell(1), t.Cell(2))
 	}

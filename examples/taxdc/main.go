@@ -65,16 +65,20 @@ func main() {
 
 	// Repair with the hypergraph algorithm inside the parallel black-box
 	// wrapper, then score against the ground truth.
-	cleaner := cleanse.NewCleaner(ctx, []*core.Rule{rule},
+	cleaner, err := cleanse.NewCleaner(ctx, []*core.Rule{rule},
 		cleanse.WithAlgorithm(&repair.Hypergraph{}),
 		cleanse.WithParallelRepair(repair.Options{}))
+	if err != nil {
+		log.Fatal(err)
+	}
 	t0 = time.Now()
 	result, err := cleaner.Clean(truth.Dirty)
 	if err != nil {
 		log.Fatal(err)
 	}
+	rep := result.Report()
 	fmt.Printf("\nhypergraph repair: %d -> %d violations in %d iteration(s), %v\n",
-		result.InitialViolations, result.RemainingViolations, result.Iterations,
+		rep.InitialViolations, rep.RemainingViolations, rep.Iterations,
 		time.Since(t0).Round(time.Millisecond))
 	q := datagen.Evaluate(truth, result.Clean)
 	fmt.Printf("distance to ground truth: avg %.3f, total %.1f over %d injected errors\n",

@@ -74,18 +74,22 @@ func WithParallelRepair(opts repair.Options) Option {
 
 // WithIncremental re-detects only the blocks touched by the previous
 // iteration's repairs on rules that support block-incremental maintenance.
+// It affects Clean only: sessions opened with Open always attempt
+// incremental detection, falling back to full re-detection when no rule in
+// the set is incrementalizable (see Open).
 func WithIncremental() Option {
 	return func(c *Cleaner) { c.Incremental = true }
 }
 
-// WithMaxIterations bounds the detect-repair loop. Values <= 0 keep the
-// default of 10.
+// WithMaxIterations bounds the detect-repair loop. Zero keeps the default
+// of 10; negative values are rejected at construction.
 func WithMaxIterations(n int) Option {
 	return func(c *Cleaner) { c.MaxIterations = n }
 }
 
 // WithFreezeAfter pins a cell after n updates (the termination device of
-// Section 2.2). Values <= 0 keep the default of 3.
+// Section 2.2). Zero keeps the default of 3; negative values are rejected
+// at construction.
 func WithFreezeAfter(n int) Option {
 	return func(c *Cleaner) { c.FreezeAfter = n }
 }
@@ -98,34 +102,91 @@ func WithObserver(o engine.Observer) Option {
 	return func(c *Cleaner) { c.Observer = o }
 }
 
-// NewCleaner builds a Cleaner over ctx and rules, applying any options. It
-// is the preferred construction path; the Cleaner struct remains exported
-// for callers that need to set fields directly.
-func NewCleaner(ctx *engine.Context, rules []*core.Rule, opts ...Option) *Cleaner {
+// NewCleaner builds a Cleaner over ctx and rules, applying any options, and
+// validates the combined configuration: a nil context, an empty or nil rule
+// set, a rule that fails core validation, or a negative WithMaxIterations /
+// WithFreezeAfter is rejected here instead of misbehaving at Clean or Flush
+// time. It is the preferred construction path; the Cleaner struct remains
+// exported for callers that need to set fields directly (those configs are
+// re-validated when Clean or Open runs).
+func NewCleaner(ctx *engine.Context, rules []*core.Rule, opts ...Option) (*Cleaner, error) {
 	c := &Cleaner{Ctx: ctx, Rules: rules}
 	for _, o := range opts {
 		o(c)
 	}
-	return c
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
 }
 
-// Result reports one cleansing run.
+// validate checks a configuration for the nonsensical states that used to
+// surface as panics or silent defaults deep inside the loop.
+func (c *Cleaner) validate() error {
+	if c.Ctx == nil {
+		return fmt.Errorf("cleanse: nil engine context (build one with engine.New)")
+	}
+	if len(c.Rules) == 0 {
+		return fmt.Errorf("cleanse: no rules")
+	}
+	for i, r := range c.Rules {
+		if r == nil {
+			return fmt.Errorf("cleanse: rule %d is nil", i)
+		}
+		if err := r.Validate(); err != nil {
+			return fmt.Errorf("cleanse: invalid rule: %w", err)
+		}
+	}
+	if c.MaxIterations < 0 {
+		return fmt.Errorf("cleanse: WithMaxIterations(%d): negative (0 keeps the default of 10)", c.MaxIterations)
+	}
+	if c.FreezeAfter < 0 {
+		return fmt.Errorf("cleanse: WithFreezeAfter(%d): negative (0 keeps the default of 3)", c.FreezeAfter)
+	}
+	return nil
+}
+
+// attachObserver tees the configured Observer into the context once.
+func (c *Cleaner) attachObserver() {
+	if c.Observer != nil && !c.observerAttached {
+		c.Ctx.AttachObserver(c.Observer)
+		c.observerAttached = true
+	}
+}
+
+// Result reports one cleansing run. Apart from Clean (the repaired
+// relation), every field duplicates a Report field; poke Report() instead
+// of the struct.
 type Result struct {
 	// Clean is the repaired instance (the input is not modified).
 	Clean *model.Relation
 	// Iterations is the number of detect-repair rounds executed.
+	//
+	// Deprecated: use Report().Iterations.
 	Iterations int
 	// InitialViolations and RemainingViolations bracket the run.
-	InitialViolations   int
+	//
+	// Deprecated: use Report().InitialViolations / RemainingViolations.
+	InitialViolations int
+	// Deprecated: use Report().RemainingViolations.
 	RemainingViolations int
 	// FrozenCells counts cells pinned by the termination device.
+	//
+	// Deprecated: use Report().FrozenCells.
 	FrozenCells int
 	// TotalAssignments counts applied updates across iterations.
+	//
+	// Deprecated: use Report().UpdatesApplied.
 	TotalAssignments int
 	// DetectTime and RepairTime split the wall time (Figure 8(b)).
+	//
+	// Deprecated: use Report().DetectTime / RepairTime.
 	DetectTime time.Duration
+	// Deprecated: use Report().RepairTime.
 	RepairTime time.Duration
 	// Reports holds the per-iteration parallel repair reports.
+	//
+	// Deprecated: use Report().RepairRounds.
 	Reports []*repair.Report
 
 	// engineSnap is the dataflow snapshot taken when Clean returned, so
@@ -158,6 +219,11 @@ type Report struct {
 	// (components, splits, conflicts, assignments); empty for the
 	// centralized repair path.
 	RepairRounds []*repair.Report
+	// Flush is the 1-based ordinal of the session flush this report covers
+	// (a one-shot Clean is its session's only flush, so 1).
+	Flush int
+	// Tuples is the relation size when the report was taken.
+	Tuples int
 }
 
 // Report summarizes the run as one struct.
@@ -172,190 +238,40 @@ func (r *Result) Report() Report {
 		RepairTime:          r.RepairTime,
 		Engine:              r.engineSnap,
 		RepairRounds:        r.Reports,
+		Flush:               1,
+		Tuples:              r.Clean.Len(),
 	}
 }
 
-// Clean runs the iterative cleansing process on a copy of rel.
+// Clean runs the iterative cleansing process on a copy of rel. It is a
+// thin one-batch session: the relation is cloned into a Session seeded
+// with the Cleaner's configuration (including the Clean-specific
+// Incremental flag), flushed once, and closed — so its behavior is the
+// historical one while the detect-repair loop itself lives in the Session.
 func (c *Cleaner) Clean(rel *model.Relation) (*Result, error) {
-	if c.Observer != nil && !c.observerAttached {
-		c.Ctx.AttachObserver(c.Observer)
-		c.observerAttached = true
+	if err := c.validate(); err != nil {
+		return nil, err
 	}
-	res, err := c.clean(rel)
+	c.attachObserver()
+	s, err := newSession(*c, rel.Clone(), c.Incremental, nil)
 	if err != nil {
 		return nil, err
 	}
-	res.engineSnap = c.Ctx.Stats().Snapshot()
-	return res, nil
-}
-
-// clean is the detect-repair loop behind Clean.
-func (c *Cleaner) clean(rel *model.Relation) (*Result, error) {
-	if len(c.Rules) == 0 {
-		return nil, fmt.Errorf("cleanse: no rules")
-	}
-	algo := c.Algo
-	if algo == nil {
-		algo = &repair.EquivalenceClass{}
-	}
-	maxIter := c.MaxIterations
-	if maxIter <= 0 {
-		maxIter = 10
-	}
-	freezeAfter := c.FreezeAfter
-	if freezeAfter <= 0 {
-		freezeAfter = 3
-	}
-
-	work := rel.Clone()
-	res := &Result{Clean: work}
-	frozen := map[model.CellKey]bool{}
-	updates := map[model.CellKey]int{}
-
-	var incDet *core.IncrementalDetector
-	if c.Incremental {
-		d, err := core.NewIncrementalDetector(c.Ctx, c.Rules)
-		if err != nil {
-			return nil, err
-		}
-		incDet = d
-	}
-	var changed []int64 // nil forces a full first pass
-
-	// ropts is the parallel-repair configuration with the run's observer
-	// threaded through, so repair phases land in the same span tree.
-	obs := c.Ctx.Observer()
-	ropts := c.RepairOpts
-	if ropts.Observer == nil {
-		ropts.Observer = obs
-	}
-
-	for iter := 0; iter < maxIter; iter++ {
-		// One span per detect-repair round; the closure keeps it closed on
-		// every exit path (early convergence, errors).
-		rsp := obs.BeginSpan(nil, fmt.Sprintf("round %d", iter+1), engine.SpanRound)
-		done, err := func() (bool, error) {
-			t0 := time.Now()
-			var det *core.DetectResult
-			var err error
-			if incDet != nil {
-				det, err = incDet.Detect(work, changed)
-			} else {
-				det, err = core.DetectRules(c.Ctx, c.Rules, work)
-			}
-			if err != nil {
-				return false, fmt.Errorf("cleanse: detection (iteration %d): %w", iter+1, err)
-			}
-			res.DetectTime += time.Since(t0)
-			if iter == 0 {
-				res.InitialViolations = len(det.Violations)
-			}
-			res.Iterations = iter + 1
-			rsp.Attr(engine.AttrViolations, int64(len(det.Violations)))
-
-			// Drop violations whose every fix touches a frozen cell: they have
-			// no usable possible fixes anymore (Section 2.2's stopping rule).
-			actionable := det.FixSets[:0:0]
-			remaining := 0
-			for _, fs := range det.FixSets {
-				if len(fs.Fixes) == 0 {
-					remaining++ // detection-only violation: reported, not repairable
-					continue
-				}
-				usable := false
-				for _, f := range fs.Fixes {
-					ok := true
-					for _, cell := range f.Cells() {
-						if frozen[cell.MapKey()] {
-							ok = false
-							break
-						}
-					}
-					if ok {
-						usable = true
-						break
-					}
-				}
-				if usable {
-					actionable = append(actionable, fs)
-				} else {
-					remaining++
-				}
-			}
-			if len(actionable) == 0 {
-				res.RemainingViolations = remaining
-				res.FrozenCells = len(frozen)
-				return true, nil
-			}
-
-			t1 := time.Now()
-			var assignments []repair.Assignment
-			if c.Parallel {
-				as, rep, err := repair.RepairParallel(actionable, algo, ropts)
-				if err != nil {
-					return false, fmt.Errorf("cleanse: parallel repair (iteration %d): %w", iter+1, err)
-				}
-				assignments = as
-				res.Reports = append(res.Reports, rep)
-			} else {
-				csp := obs.BeginSpan(nil, "repair", engine.SpanRepair)
-				as, err := algo.Repair(actionable)
-				csp.Attr(engine.AttrAssignments, int64(len(as)))
-				csp.End()
-				if err != nil {
-					return false, fmt.Errorf("cleanse: repair (iteration %d): %w", iter+1, err)
-				}
-				assignments = as
-			}
-			res.RepairTime += time.Since(t1)
-
-			applied := repair.Apply(work, assignments, frozen)
-			res.TotalAssignments += applied
-			rsp.Attr(engine.AttrAssignments, int64(applied))
-			changed = changed[:0]
-			seenChanged := map[int64]bool{}
-			for _, a := range assignments {
-				k := a.CellKey()
-				if !frozen[k] && !seenChanged[a.TupleID] {
-					seenChanged[a.TupleID] = true
-					changed = append(changed, a.TupleID)
-				}
-				if frozen[k] {
-					continue
-				}
-				updates[k]++
-				if updates[k] >= freezeAfter {
-					frozen[k] = true
-				}
-			}
-			if applied == 0 {
-				// The algorithm proposed nothing applicable; freeze the cells
-				// of the remaining fixes to guarantee forward progress.
-				for _, fs := range actionable {
-					for _, f := range fs.Fixes {
-						for _, cell := range f.Cells() {
-							frozen[cell.MapKey()] = true
-						}
-					}
-				}
-			}
-			return false, nil
-		}()
-		rsp.End()
-		if err != nil {
-			return nil, err
-		}
-		if done {
-			return res, nil
-		}
-	}
-
-	// Out of iterations: report what is left.
-	det, err := core.DetectRules(c.Ctx, c.Rules, work)
+	rep, err := s.flushLocked()
 	if err != nil {
 		return nil, err
 	}
-	res.RemainingViolations = len(det.Violations)
-	res.FrozenCells = len(frozen)
-	return res, nil
+	s.closed = true
+	return &Result{
+		Clean:               s.rel,
+		Iterations:          rep.Iterations,
+		InitialViolations:   rep.InitialViolations,
+		RemainingViolations: rep.RemainingViolations,
+		FrozenCells:         rep.FrozenCells,
+		TotalAssignments:    rep.UpdatesApplied,
+		DetectTime:          rep.DetectTime,
+		RepairTime:          rep.RepairTime,
+		Reports:             rep.RepairRounds,
+		engineSnap:          rep.Engine,
+	}, nil
 }

@@ -238,13 +238,16 @@ func TestNewCleanerOptions(t *testing.T) {
 	rel := dirtyTax(3, 5, 1)
 	r := fdZipCity(t, rel)
 	hg := &repair.Hypergraph{}
-	c := NewCleaner(ctx, []*core.Rule{r},
+	c, err := NewCleaner(ctx, []*core.Rule{r},
 		WithAlgorithm(hg),
 		WithParallelRepair(repair.Options{Parallelism: 3}),
 		WithIncremental(),
 		WithMaxIterations(7),
 		WithFreezeAfter(2),
 	)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if c.Ctx != ctx || len(c.Rules) != 1 || c.Rules[0] != r {
 		t.Fatal("ctx/rules not wired")
 	}

@@ -14,8 +14,11 @@ import (
 // struct instead of poking three packages.
 func TestResultReport(t *testing.T) {
 	rel := dirtyTax(6, 6, 2)
-	cleaner := NewCleaner(engine.New(4), []*core.Rule{fdZipCity(t, rel)},
+	cleaner, err := NewCleaner(engine.New(4), []*core.Rule{fdZipCity(t, rel)},
 		WithParallelRepair(repair.Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, err := cleaner.Clean(rel)
 	if err != nil {
 		t.Fatal(err)
@@ -49,9 +52,12 @@ func TestResultReport(t *testing.T) {
 func TestWithObserverTracesWholeRun(t *testing.T) {
 	rel := dirtyTax(6, 6, 2)
 	tr := trace.New()
-	cleaner := NewCleaner(engine.New(4), []*core.Rule{fdZipCity(t, rel)},
+	cleaner, err := NewCleaner(engine.New(4), []*core.Rule{fdZipCity(t, rel)},
 		WithParallelRepair(repair.Options{}),
 		WithObserver(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, err := cleaner.Clean(rel)
 	if err != nil {
 		t.Fatal(err)

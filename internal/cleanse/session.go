@@ -1,0 +1,441 @@
+package cleanse
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"bigdansing/internal/core"
+	"bigdansing/internal/engine"
+	"bigdansing/internal/model"
+	"bigdansing/internal/repair"
+)
+
+// Session is a streaming cleanse: instead of one Clean(rel) call over a
+// finished relation, a caller Opens a session against a schema, Ingests
+// batches of tuples as they arrive, and Flushes when it wants the
+// detect-repair loop run to quiescence over everything seen so far. The
+// session owns the relation and every piece of cleansing state — the
+// incremental detection caches, the equivalence-class repair memory, and
+// the frozen-cell/update counters of the termination device — all of which
+// survive across Flushes, so each Flush only pays for what changed since
+// the last one.
+//
+// Lifecycle (the session state machine):
+//
+//	Open ──► open ──Ingest──► open ──Flush──► open ──Close──► closed
+//
+// Ingest and Flush may interleave freely while the session is open; every
+// method but Relation and Status errors once it is closed. A Session is
+// safe for concurrent use; calls are serialized on an internal mutex.
+//
+// Incremental detection: Ingest routes new tuples through the
+// IncrementalDetector (only the blocks they land in are re-detected);
+// rules that cannot be maintained incrementally fall back to bounded
+// re-detection — they re-run at most once per Flush, and not at all when
+// nothing changed. If no rule in the set is incrementalizable the session
+// falls back to full re-detection each Flush round (see Open).
+type Session struct {
+	mu  sync.Mutex
+	cfg Cleaner // frozen configuration copy (per-session options applied)
+
+	rel *model.Relation
+	idx map[int64]int // tuple ID -> position, maintained on ingest
+
+	det    *core.IncrementalDetector // nil: full re-detection every round
+	algo   repair.Algorithm
+	ropts  repair.Options
+	memory *repair.ClassMemory
+
+	frozen  map[model.CellKey]bool
+	updates map[model.CellKey]int
+	dirty   []int64 // tuple IDs changed since the detector last saw them
+
+	nextID int64
+	closed bool
+
+	// lifetime counters for Status and the per-flush reports.
+	ingested      int64
+	flushes       int
+	totalUpdates  int64
+	pendingDetect time.Duration // ingest-time detection, attributed to the next flush
+}
+
+// Open starts a streaming cleanse session over schema. Options are applied
+// on top of the Cleaner's own configuration for this session only, and the
+// combined configuration is validated up front (see NewCleaner) — a
+// misconfigured session fails here, not at Flush time.
+//
+// Sessions always attempt incremental detection regardless of
+// WithIncremental (streaming is what the incremental caches exist for).
+// When no rule in the set supports block-incremental maintenance, Open
+// succeeds but the session runs in full-re-detection mode: every Flush
+// round re-detects the whole relation, exactly like Clean. Check
+// Incremental() to see which mode a session got.
+func (c *Cleaner) Open(schema *model.Schema, opts ...Option) (*Session, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("cleanse: Open: nil schema")
+	}
+	cfg := *c
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Observer != nil && cfg.Observer != c.Observer {
+		// A session-specific observer (WithObserver passed to Open) tees
+		// into the context directly; the cleaner-level one attaches once.
+		cfg.Ctx.AttachObserver(cfg.Observer)
+	} else {
+		c.attachObserver()
+	}
+	incremental := core.NumIncrementalizable(cfg.Rules) > 0
+	return newSession(cfg, model.NewRelation("session", schema), incremental, nil)
+}
+
+// newSession wires the session state over an initial relation. dirty==nil
+// means the detector has never seen the relation: the first Flush round
+// runs a full pass (the Clean path seeds the relation this way so its
+// behavior is byte-for-byte the old one).
+func newSession(cfg Cleaner, rel *model.Relation, incremental bool, dirty []int64) (*Session, error) {
+	s := &Session{
+		cfg:     cfg,
+		rel:     rel,
+		idx:     rel.ByID(),
+		memory:  repair.NewClassMemory(),
+		frozen:  map[model.CellKey]bool{},
+		updates: map[model.CellKey]int{},
+		dirty:   dirty,
+	}
+	for _, t := range rel.Tuples {
+		if t.ID >= s.nextID {
+			s.nextID = t.ID + 1
+		}
+	}
+	if incremental {
+		d, err := core.NewIncrementalDetector(cfg.Ctx, cfg.Rules)
+		if err != nil {
+			return nil, err
+		}
+		s.det = d
+	}
+	// The repair algorithm: the configured one, or the equivalence-class
+	// default. When it is an equivalence-class instance without a prior,
+	// thread the session's class memory through a copy so streaming repair
+	// stays sticky without mutating the caller's struct.
+	s.algo = cfg.Algo
+	if s.algo == nil {
+		s.algo = &repair.EquivalenceClass{Prior: s.memory}
+	} else if ec, ok := s.algo.(*repair.EquivalenceClass); ok && ec.Prior == nil {
+		cp := *ec
+		cp.Prior = s.memory
+		s.algo = &cp
+	}
+	s.ropts = cfg.RepairOpts
+	if s.ropts.Observer == nil {
+		s.ropts.Observer = cfg.Ctx.Observer()
+	}
+	return s, nil
+}
+
+// Ingest appends a batch of tuples to the session's relation and routes
+// them through the incremental detector: only the blocks the new tuples
+// land in are re-detected, and non-incrementalizable rules are merely
+// marked stale for the next Flush. Tuples are cloned — the caller keeps
+// ownership of the batch. A tuple with a negative ID is assigned the next
+// free one; a duplicate ID fails the whole batch (nothing is appended).
+func (s *Session) Ingest(batch []model.Tuple) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("cleanse: session closed")
+	}
+	if len(batch) == 0 {
+		return nil
+	}
+	want := s.rel.Schema.Len()
+	seen := make(map[int64]bool, len(batch))
+	for i, t := range batch {
+		if len(t.Cells) != want {
+			return fmt.Errorf("cleanse: ingest: tuple %d has %d cells, schema has %d", i, len(t.Cells), want)
+		}
+		if t.ID >= 0 {
+			if _, dup := s.idx[t.ID]; dup || seen[t.ID] {
+				return fmt.Errorf("cleanse: ingest: duplicate tuple id %d", t.ID)
+			}
+			seen[t.ID] = true
+		}
+	}
+	ids := make([]int64, 0, len(batch))
+	for _, t := range batch {
+		t = t.Clone()
+		if t.ID < 0 {
+			t.ID = s.nextID
+		}
+		if t.ID >= s.nextID {
+			s.nextID = t.ID + 1
+		}
+		s.idx[t.ID] = len(s.rel.Tuples)
+		s.rel.Append(t)
+		ids = append(ids, t.ID)
+	}
+	s.ingested += int64(len(ids))
+	if s.det != nil {
+		t0 := time.Now()
+		err := s.det.Observe(s.rel, ids)
+		s.pendingDetect += time.Since(t0)
+		if err != nil {
+			return fmt.Errorf("cleanse: ingest: %w", err)
+		}
+	}
+	return nil
+}
+
+// Flush runs the detect-repair loop to quiescence over everything ingested
+// so far and returns the report for this flush. Repairs are applied to the
+// session's relation in place; the frozen-cell state and the repair class
+// memory carry over to later flushes, so a cell pinned by the termination
+// device stays pinned for the life of the session. Flushing with nothing
+// new ingested is cheap: cached detection state is re-assembled without
+// re-running any dataflow.
+func (s *Session) Flush() (Report, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Report{}, fmt.Errorf("cleanse: session closed")
+	}
+	return s.flushLocked()
+}
+
+func (s *Session) flushLocked() (Report, error) {
+	cfg := &s.cfg
+	maxIter := cfg.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 10
+	}
+	freezeAfter := cfg.FreezeAfter
+	if freezeAfter <= 0 {
+		freezeAfter = 3
+	}
+	obs := cfg.Ctx.Observer()
+
+	rep := Report{Flush: s.flushes + 1}
+	rep.DetectTime = s.pendingDetect
+	s.pendingDetect = 0
+	var applied []repair.Assignment // everything applied this flush, for the class memory
+
+	for iter := 0; iter < maxIter; iter++ {
+		// One span per detect-repair round; the closure keeps it closed on
+		// every exit path (early convergence, errors).
+		rsp := obs.BeginSpan(nil, fmt.Sprintf("round %d", iter+1), engine.SpanRound)
+		done, err := func() (bool, error) {
+			t0 := time.Now()
+			det, err := s.detect()
+			if err != nil {
+				return false, fmt.Errorf("cleanse: detection (iteration %d): %w", iter+1, err)
+			}
+			rep.DetectTime += time.Since(t0)
+			if iter == 0 {
+				rep.InitialViolations = len(det.Violations)
+			}
+			rep.Iterations = iter + 1
+			rsp.Attr(engine.AttrViolations, int64(len(det.Violations)))
+
+			// Drop violations whose every fix touches a frozen cell: they have
+			// no usable possible fixes anymore (Section 2.2's stopping rule).
+			actionable := det.FixSets[:0:0]
+			remaining := 0
+			for _, fs := range det.FixSets {
+				if len(fs.Fixes) == 0 {
+					remaining++ // detection-only violation: reported, not repairable
+					continue
+				}
+				usable := false
+				for _, f := range fs.Fixes {
+					ok := true
+					for _, cell := range f.Cells() {
+						if s.frozen[cell.MapKey()] {
+							ok = false
+							break
+						}
+					}
+					if ok {
+						usable = true
+						break
+					}
+				}
+				if usable {
+					actionable = append(actionable, fs)
+				} else {
+					remaining++
+				}
+			}
+			if len(actionable) == 0 {
+				rep.RemainingViolations = remaining
+				return true, nil
+			}
+
+			t1 := time.Now()
+			var assignments []repair.Assignment
+			if cfg.Parallel {
+				as, rr, err := repair.RepairParallel(actionable, s.algo, s.ropts)
+				if err != nil {
+					return false, fmt.Errorf("cleanse: parallel repair (iteration %d): %w", iter+1, err)
+				}
+				assignments = as
+				rep.RepairRounds = append(rep.RepairRounds, rr)
+			} else {
+				csp := obs.BeginSpan(nil, "repair", engine.SpanRepair)
+				as, err := s.algo.Repair(actionable)
+				csp.Attr(engine.AttrAssignments, int64(len(as)))
+				csp.End()
+				if err != nil {
+					return false, fmt.Errorf("cleanse: repair (iteration %d): %w", iter+1, err)
+				}
+				assignments = as
+			}
+			rep.RepairTime += time.Since(t1)
+
+			n := repair.Apply(s.rel, assignments, s.frozen)
+			rep.UpdatesApplied += n
+			rsp.Attr(engine.AttrAssignments, int64(n))
+			s.dirty = s.dirty[:0]
+			seenChanged := map[int64]bool{}
+			for _, a := range assignments {
+				k := a.CellKey()
+				if !s.frozen[k] && !seenChanged[a.TupleID] {
+					seenChanged[a.TupleID] = true
+					s.dirty = append(s.dirty, a.TupleID)
+				}
+				if s.frozen[k] {
+					continue
+				}
+				s.updates[k]++
+				if s.updates[k] >= freezeAfter {
+					s.frozen[k] = true
+				}
+			}
+			if n == 0 {
+				// The algorithm proposed nothing applicable; freeze the cells
+				// of the remaining fixes to guarantee forward progress.
+				for _, fs := range actionable {
+					for _, f := range fs.Fixes {
+						for _, cell := range f.Cells() {
+							s.frozen[cell.MapKey()] = true
+						}
+					}
+				}
+			} else {
+				applied = append(applied, assignments...)
+			}
+			return false, nil
+		}()
+		rsp.End()
+		if err != nil {
+			return Report{}, err
+		}
+		if done {
+			return s.finishFlush(rep, applied), nil
+		}
+	}
+
+	// Out of iterations: report what is left.
+	det, err := s.detect()
+	if err != nil {
+		return Report{}, err
+	}
+	rep.RemainingViolations = len(det.Violations)
+	return s.finishFlush(rep, applied), nil
+}
+
+// detect runs one detection pass: incremental over the dirty set when the
+// session has a detector (nil dirty — a never-scanned relation — forces the
+// priming full pass), full otherwise.
+func (s *Session) detect() (*core.DetectResult, error) {
+	if s.det == nil {
+		return core.DetectRules(s.cfg.Ctx, s.cfg.Rules, s.rel)
+	}
+	changed := s.dirty
+	if !s.det.Primed() {
+		changed = nil
+	}
+	res, err := s.det.Detect(s.rel, changed)
+	if err != nil {
+		return nil, err
+	}
+	s.dirty = s.dirty[:0]
+	return res, nil
+}
+
+// finishFlush stamps the flush-invariant report fields and folds the
+// flush's applied assignments into the session-lifetime repair memory (done
+// here, not per round, so a flush behaves exactly like one Clean run).
+func (s *Session) finishFlush(rep Report, applied []repair.Assignment) Report {
+	s.memory.Record(applied, s.frozen)
+	s.flushes++
+	s.totalUpdates += int64(rep.UpdatesApplied)
+	rep.FrozenCells = len(s.frozen)
+	rep.Tuples = s.rel.Len()
+	rep.Engine = s.cfg.Ctx.Stats().Snapshot()
+	return rep
+}
+
+// Close ends the session. It does not flush — callers that want the last
+// batches repaired call Flush first (the serve layer's drain path does).
+// Close is idempotent; every other method fails after it.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}
+
+// Relation returns a deep copy of the session's current (repaired-so-far)
+// relation. It remains available after Close.
+func (s *Session) Relation() *model.Relation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rel.Clone()
+}
+
+// Incremental reports whether the session maintains incremental detection
+// state (false means the rule set had nothing incrementalizable and the
+// session fell back to full re-detection per Flush round).
+func (s *Session) Incremental() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.det != nil
+}
+
+// Status is a point-in-time summary of a session, cheap enough to poll.
+type Status struct {
+	// Tuples is the current relation size; Ingested counts tuples accepted
+	// over the session's lifetime (the same unless tuples were removed).
+	Tuples   int
+	Ingested int64
+	// Flushes counts completed Flush calls; UpdatesApplied and FrozenCells
+	// accumulate over all of them.
+	Flushes        int
+	UpdatesApplied int64
+	FrozenCells    int
+	// Incremental reports the detection mode; Closed the lifecycle state.
+	Incremental bool
+	Closed      bool
+}
+
+// Status reports the session's current state. It remains available after
+// Close.
+func (s *Session) Status() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Status{
+		Tuples:         s.rel.Len(),
+		Ingested:       s.ingested,
+		Flushes:        s.flushes,
+		UpdatesApplied: s.totalUpdates,
+		FrozenCells:    len(s.frozen),
+		Incremental:    s.det != nil,
+		Closed:         s.closed,
+	}
+}

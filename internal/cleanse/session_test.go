@@ -1,0 +1,345 @@
+package cleanse
+
+import (
+	"strings"
+	"testing"
+
+	"bigdansing/internal/core"
+	"bigdansing/internal/datagen"
+	"bigdansing/internal/engine"
+	"bigdansing/internal/model"
+	"bigdansing/internal/repair"
+	"bigdansing/internal/rules"
+)
+
+func dcSalaryRate(t *testing.T, schema *model.Schema) *core.Rule {
+	t.Helper()
+	dc, err := rules.ParseDC("phi2", "t1.salary > t2.salary & t1.rate < t2.rate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rule, err := dc.Compile(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rule
+}
+
+func assertSameRelation(t *testing.T, got, want *model.Relation) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("relation size: got %d, want %d", got.Len(), want.Len())
+	}
+	for i := range want.Tuples {
+		g, w := got.Tuples[i], want.Tuples[i]
+		if g.ID != w.ID {
+			t.Fatalf("tuple %d: id %d vs %d", i, g.ID, w.ID)
+		}
+		for c := range w.Cells {
+			if !g.Cell(c).Equal(w.Cell(c)) {
+				t.Errorf("tuple %d col %d: %v vs %v", w.ID, c, g.Cell(c), w.Cell(c))
+			}
+		}
+	}
+}
+
+// TestSessionStreamingEquivalence is the acceptance test for the session
+// API: the Figure 9 dataset (TaxA) pushed through a Session in k batches
+// with one Flush must produce exactly the relation and violation counts of
+// a one-shot Clean over the same tuples, for a mixed FD + DC rule set
+// (the DC is not incrementalizable, so this also exercises the bounded
+// re-detection fallback inside a streaming session).
+func TestSessionStreamingEquivalence(t *testing.T) {
+	rel := datagen.TaxA(240, 0.1, 7).Dirty
+	mkRules := func() []*core.Rule {
+		return []*core.Rule{fdZipCity(t, rel), dcSalaryRate(t, rel.Schema)}
+	}
+
+	oneShot, err := NewCleaner(engine.New(4), mkRules(),
+		WithParallelRepair(repair.Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := oneShot.Clean(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cleaner, err := NewCleaner(engine.New(4), mkRules(),
+		WithParallelRepair(repair.Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := cleaner.Open(rel.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if !s.Incremental() {
+		t.Fatal("FD in the rule set should enable incremental detection")
+	}
+	const k = 4
+	per := rel.Len() / k
+	for b := 0; b < k; b++ {
+		end := (b + 1) * per
+		if b == k-1 {
+			end = rel.Len()
+		}
+		if err := s.Ingest(rel.Tuples[b*per : end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := s.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := res.Report()
+	if rep.InitialViolations != want.InitialViolations {
+		t.Errorf("initial violations: session %d, clean %d", rep.InitialViolations, want.InitialViolations)
+	}
+	if rep.RemainingViolations != want.RemainingViolations {
+		t.Errorf("remaining violations: session %d, clean %d", rep.RemainingViolations, want.RemainingViolations)
+	}
+	if rep.Iterations != want.Iterations {
+		t.Errorf("iterations: session %d, clean %d", rep.Iterations, want.Iterations)
+	}
+	if rep.UpdatesApplied != want.UpdatesApplied {
+		t.Errorf("updates: session %d, clean %d", rep.UpdatesApplied, want.UpdatesApplied)
+	}
+	if rep.Flush != 1 || rep.Tuples != rel.Len() {
+		t.Errorf("flush=%d tuples=%d, want 1 and %d", rep.Flush, rep.Tuples, rel.Len())
+	}
+	assertSameRelation(t, s.Relation(), res.Clean)
+}
+
+// TestSessionMultiFlushConverges: a session flushed between batches must
+// leave zero remaining FD violations after every flush, carry the
+// frozen-cell state across flushes, and number the flush reports.
+func TestSessionMultiFlushConverges(t *testing.T) {
+	rel := dirtyTax(8, 8, 2)
+	cleaner, err := NewCleaner(engine.New(4), []*core.Rule{fdZipCity(t, rel)},
+		WithParallelRepair(repair.Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := cleaner.Open(rel.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	half := rel.Len() / 2
+	if err := s.Ingest(rel.Tuples[:half]); err != nil {
+		t.Fatal(err)
+	}
+	rep1, err := s.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.Flush != 1 {
+		t.Errorf("first flush numbered %d", rep1.Flush)
+	}
+	if rep1.RemainingViolations != 0 {
+		t.Errorf("flush 1 left %d violations", rep1.RemainingViolations)
+	}
+
+	if err := s.Ingest(rel.Tuples[half:]); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := s.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Flush != 2 {
+		t.Errorf("second flush numbered %d", rep2.Flush)
+	}
+	if rep2.RemainingViolations != 0 {
+		t.Errorf("flush 2 left %d violations", rep2.RemainingViolations)
+	}
+	if rep2.Tuples != rel.Len() {
+		t.Errorf("flush 2 saw %d tuples, want %d", rep2.Tuples, rel.Len())
+	}
+
+	st := s.Status()
+	if st.Flushes != 2 || st.Ingested != int64(rel.Len()) || st.Tuples != rel.Len() {
+		t.Errorf("status after two flushes: %+v", st)
+	}
+
+	// A third flush with nothing new ingested must be a no-op: cached
+	// detection state is reused and nothing is repaired.
+	rep3, err := s.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep3.InitialViolations != 0 || rep3.UpdatesApplied != 0 {
+		t.Errorf("idle flush did work: %+v", rep3)
+	}
+}
+
+// TestSessionFallbackFullDetection: a rule set with nothing
+// incrementalizable still opens; the session runs in full re-detection
+// mode and cleansing works.
+func TestSessionFallbackFullDetection(t *testing.T) {
+	rel := datagen.TaxB(120, 0.05, 3).Dirty
+	cleaner, err := NewCleaner(engine.New(2), []*core.Rule{dcSalaryRate(t, rel.Schema)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := cleaner.Open(rel.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Incremental() {
+		t.Fatal("a DC-only rule set must fall back to full re-detection")
+	}
+	if err := s.Ingest(rel.Tuples); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.InitialViolations == 0 {
+		t.Error("TaxB dirty instance should violate phi2")
+	}
+}
+
+// TestOpenValidation: configuration errors surface at Open, not at Flush.
+func TestOpenValidation(t *testing.T) {
+	rel := dirtyTax(2, 4, 1)
+	cleaner, err := NewCleaner(engine.New(2), []*core.Rule{fdZipCity(t, rel)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cleaner.Open(nil); err == nil {
+		t.Error("nil schema accepted")
+	}
+	if _, err := cleaner.Open(rel.Schema, WithMaxIterations(-1)); err == nil {
+		t.Error("negative WithMaxIterations accepted")
+	}
+	if _, err := cleaner.Open(rel.Schema, WithFreezeAfter(-2)); err == nil {
+		t.Error("negative WithFreezeAfter accepted")
+	}
+
+	bad := &Cleaner{Ctx: engine.New(2)}
+	if _, err := bad.Open(rel.Schema); err == nil || !strings.Contains(err.Error(), "no rules") {
+		t.Errorf("empty rule set: %v", err)
+	}
+	bad = &Cleaner{Rules: []*core.Rule{fdZipCity(t, rel)}}
+	if _, err := bad.Open(rel.Schema); err == nil || !strings.Contains(err.Error(), "nil engine context") {
+		t.Errorf("nil context: %v", err)
+	}
+
+	if _, err := NewCleaner(engine.New(2), []*core.Rule{nil}); err == nil {
+		t.Error("nil rule accepted")
+	}
+	if _, err := NewCleaner(engine.New(2), []*core.Rule{fdZipCity(t, rel)}, WithMaxIterations(-3)); err == nil {
+		t.Error("NewCleaner accepted negative WithMaxIterations")
+	}
+}
+
+// TestSessionIngestErrors: arity and duplicate-ID validation reject the
+// whole batch atomically, and a closed session refuses everything.
+func TestSessionIngestErrors(t *testing.T) {
+	rel := dirtyTax(2, 4, 1)
+	cleaner, err := NewCleaner(engine.New(2), []*core.Rule{fdZipCity(t, rel)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := cleaner.Open(rel.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s.Ingest(rel.Tuples[:4]); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong arity fails, and the valid leading tuple must not leak in.
+	bad := []model.Tuple{rel.Tuples[4], model.NewTuple(99, model.S("short"))}
+	if err := s.Ingest(bad); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if got := s.Status().Tuples; got != 4 {
+		t.Fatalf("failed batch leaked tuples: %d", got)
+	}
+	// Duplicate against the relation and within the batch.
+	if err := s.Ingest(rel.Tuples[3:4]); err == nil {
+		t.Error("duplicate id vs relation accepted")
+	}
+	if err := s.Ingest([]model.Tuple{rel.Tuples[5], rel.Tuples[5]}); err == nil {
+		t.Error("duplicate id within batch accepted")
+	}
+
+	// Negative IDs get fresh ones past the current maximum.
+	fresh := rel.Tuples[6].Clone()
+	fresh.ID = -1
+	if err := s.Ingest([]model.Tuple{fresh}); err != nil {
+		t.Fatal(err)
+	}
+	r := s.Relation()
+	if last := r.Tuples[r.Len()-1].ID; last != 4 {
+		t.Errorf("auto-assigned id = %d, want 4 (max ingested was 3)", last)
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("Close is not idempotent")
+	}
+	if err := s.Ingest(rel.Tuples[6:7]); err == nil {
+		t.Error("ingest after close accepted")
+	}
+	if _, err := s.Flush(); err == nil {
+		t.Error("flush after close accepted")
+	}
+	if s.Relation() == nil || !s.Status().Closed {
+		t.Error("Relation/Status must survive Close")
+	}
+}
+
+// TestSessionRepairMemorySticky: a value the session repaired toward in an
+// earlier flush keeps winning ties in later flushes, even when fresh
+// ingests would otherwise flip the majority (the class-memory extension).
+func TestSessionRepairMemorySticky(t *testing.T) {
+	schema := model.MustParseSchema("name,zipcode:int,city,state,salary:float,rate:float")
+	mk := func(id int64, city string) model.Tuple {
+		return model.NewTuple(id, model.S("p"), model.I(11111), model.S(city),
+			model.S("ST"), model.F(float64(id)), model.F(1))
+	}
+	cleaner, err := NewCleaner(engine.New(2),
+		[]*core.Rule{fdZipCity(t, model.NewRelation("tax", schema))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := cleaner.Open(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Flush 1: Beta outvotes Alpha 2-1; every city cell is driven to Beta.
+	if err := s.Ingest([]model.Tuple{mk(1, "Beta"), mk(2, "Beta"), mk(3, "Alpha")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flush 2: one more Alpha arrives. Current values now tie 3-3 as the
+	// memory votes are what keep the class on Beta; without stickiness the
+	// lexicographic tie-break would flip everything to Alpha.
+	if err := s.Ingest([]model.Tuple{mk(4, "Alpha")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range s.Relation().Tuples {
+		if got := tp.Cell(2).String(); got != "Beta" {
+			t.Errorf("tuple %d: city %q, want sticky Beta", tp.ID, got)
+		}
+	}
+}

@@ -12,20 +12,28 @@ import (
 // changed tuples (under both their old and new blocking keys), splicing
 // fresh violations over the cached ones. The iterative detect-repair loop
 // benefits directly — each round only touches the blocks its repairs
-// changed — in the spirit of incremental inconsistency detection [14].
+// changed — in the spirit of incremental inconsistency detection [14]. The
+// state survives across calls and across appends, so a long-lived caller (a
+// cleanse.Session) can keep feeding it batches of new tuples: a changed ID
+// with no cached blocking key is treated as an append and only its target
+// block is re-detected.
 //
 // Rules qualify for incremental maintenance when they are blocked,
 // single-branch, scope-free and planner-enumerated (unique or ordered
 // pairs), or unary; other rules (OCJoin, CoBlock, custom Iterate, scoped)
-// are re-run in full each pass.
+// fall back to bounded re-detection: their cached results are kept until a
+// change marks them stale, and they re-run (in full, over the current
+// relation) at most once per Detect — never during Observe.
 type IncrementalDetector struct {
 	ctx   *engine.Context
 	rules []*Rule
 
 	// state per incremental rule index.
 	state map[int]*ruleState
-	// full holds the latest results of non-incremental rules.
-	full []model.FixSet
+	// full holds the latest results of non-incremental rules; fullStale
+	// marks them out of date (changes observed since they last ran).
+	full      []model.FixSet
+	fullStale bool
 	// primed reports whether the first full pass ran.
 	primed bool
 }
@@ -67,43 +75,143 @@ func incrementalizable(r *Rule) bool {
 		r.Scope == nil && len(r.OrderConds) == 0
 }
 
+// Incrementalizable reports whether a rule supports block-incremental
+// maintenance. Callers (cleanse.Open) use it to decide whether a rule set
+// can stream at all or must fall back to full re-detection.
+func Incrementalizable(r *Rule) bool { return incrementalizable(r) }
+
+// NumIncrementalizable counts the rules of rs that support block-incremental
+// maintenance.
+func NumIncrementalizable(rs []*Rule) int {
+	n := 0
+	for _, r := range rs {
+		if incrementalizable(r) {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset drops all cached state: the next Detect (or Observe) runs a full
+// pass. It is the fallback path for callers whose relation changed in ways
+// they cannot enumerate (bulk rewrites, tuple removals they did not track).
+func (d *IncrementalDetector) Reset() {
+	d.state = map[int]*ruleState{}
+	d.full = d.full[:0]
+	d.fullStale = false
+	d.primed = false
+}
+
+// Primed reports whether the first full pass has run.
+func (d *IncrementalDetector) Primed() bool { return d.primed }
+
+// Observe folds changed (updated or appended) tuples into the incremental
+// caches without producing a result: incrementalizable rules re-detect only
+// the affected blocks now, while non-incrementalizable rules are merely
+// marked stale — their bounded full re-detection is deferred to the next
+// Detect. A streaming caller ingesting many batches between flushes pays
+// the per-block cost per batch but the full-rule cost once per flush.
+func (d *IncrementalDetector) Observe(rel *model.Relation, changed []int64) error {
+	if !d.primed {
+		return d.prime(rel, true)
+	}
+	if len(changed) == 0 {
+		return nil
+	}
+	d.fullStale = true
+	for i, r := range d.rules {
+		if !incrementalizable(r) {
+			continue
+		}
+		if err := d.incrementalPass(i, r, rel, changed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Detect runs a pass. changed lists the tuple IDs updated since the last
-// pass; nil (or a first call) forces a full pass. The returned result is a
+// pass; nil (or a first call) forces a full pass, while an empty non-nil
+// slice reuses every cache that is not stale. The returned result is a
 // fresh snapshot — callers may retain it.
 func (d *IncrementalDetector) Detect(rel *model.Relation, changed []int64) (*DetectResult, error) {
 	if !d.primed || changed == nil {
 		return d.fullPass(rel)
 	}
-	res := &DetectResult{}
-	d.full = d.full[:0]
+	if len(changed) > 0 {
+		d.fullStale = true
+	}
 	for i, r := range d.rules {
-		if !incrementalizable(r) {
-			sub, err := DetectRule(d.ctx, r, rel)
-			if err != nil {
+		if incrementalizable(r) {
+			if len(changed) == 0 {
+				continue
+			}
+			if err := d.incrementalPass(i, r, rel, changed); err != nil {
 				return nil, err
 			}
-			d.full = append(d.full, sub.FixSets...)
-			continue
 		}
-		if err := d.incrementalPass(i, r, rel, changed); err != nil {
+	}
+	if d.fullStale {
+		if err := d.refreshFull(rel); err != nil {
 			return nil, err
 		}
 	}
+	res := &DetectResult{}
 	d.assemble(res)
 	return res, nil
 }
 
-// fullPass recomputes everything and primes the caches.
-func (d *IncrementalDetector) fullPass(rel *model.Relation) (*DetectResult, error) {
+// refreshFull re-runs every non-incrementalizable rule over the current
+// relation and clears the stale mark. This is the bounded fallback: at most
+// one full re-detection per rule per Detect, and none at all while the
+// relation is unchanged.
+func (d *IncrementalDetector) refreshFull(rel *model.Relation) error {
 	d.full = d.full[:0]
-	for i, r := range d.rules {
+	for _, r := range d.rules {
+		if incrementalizable(r) {
+			continue
+		}
 		sub, err := DetectRule(d.ctx, r, rel)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		d.full = append(d.full, sub.FixSets...)
+	}
+	d.fullStale = false
+	return nil
+}
+
+// fullPass recomputes everything and primes the caches.
+func (d *IncrementalDetector) fullPass(rel *model.Relation) (*DetectResult, error) {
+	if err := d.prime(rel, false); err != nil {
+		return nil, err
+	}
+	out := &DetectResult{}
+	d.assemble(out)
+	return out, nil
+}
+
+// prime runs the first full pass over the incrementalizable rules and,
+// unless deferFull is set, the non-incrementalizable ones too (deferFull
+// leaves them stale so Observe never pays for a full-rule run).
+func (d *IncrementalDetector) prime(rel *model.Relation, deferFull bool) error {
+	d.full = d.full[:0]
+	d.fullStale = deferFull
+	for i, r := range d.rules {
 		if !incrementalizable(r) {
+			if deferFull {
+				continue
+			}
+			sub, err := DetectRule(d.ctx, r, rel)
+			if err != nil {
+				return err
+			}
 			d.full = append(d.full, sub.FixSets...)
 			continue
+		}
+		sub, err := DetectRule(d.ctx, r, rel)
+		if err != nil {
+			return err
 		}
 		st := &ruleState{keyOf: map[int64]blockID{}, byBlock: map[blockID][]model.FixSet{}}
 		for _, t := range rel.Tuples {
@@ -116,9 +224,7 @@ func (d *IncrementalDetector) fullPass(rel *model.Relation) (*DetectResult, erro
 		d.state[i] = st
 	}
 	d.primed = true
-	out := &DetectResult{}
-	d.assemble(out)
-	return out, nil
+	return nil
 }
 
 // blockKey computes a tuple's blocking identity (the tuple ID for unary

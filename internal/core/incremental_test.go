@@ -174,6 +174,169 @@ func TestIncrementalFallsBackForComplexRules(t *testing.T) {
 	assertSameViolations(t, inc, full, "ocjoin fallback")
 }
 
+// TestIncrementalAppendMatchesFull: feeding the relation in batches —
+// Detect over the IDs appended since the last pass — must match a full
+// re-detection after every batch. This is the property streaming sessions
+// (cleanse.Session) are built on.
+func TestIncrementalAppendMatchesFull(t *testing.T) {
+	ctx := engine.New(4)
+	whole := mutableTax(240, 20, 11)
+	rel := model.NewRelation(whole.Name, whole.Schema)
+	det, err := NewIncrementalDetector(ctx, []*Rule{fdRule()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.Detect(rel, nil); err != nil { // prime on the empty relation
+		t.Fatal(err)
+	}
+	const batch = 60
+	for off := 0; off < whole.Len(); off += batch {
+		end := off + batch
+		if end > whole.Len() {
+			end = whole.Len()
+		}
+		var appended []int64
+		for _, tp := range whole.Tuples[off:end] {
+			rel.Append(tp)
+			appended = append(appended, tp.ID)
+		}
+		inc, err := det.Detect(rel, appended)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := DetectRule(ctx, fdRule(), rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameViolations(t, inc, full, fmt.Sprintf("after append %d..%d", off, end))
+	}
+}
+
+// TestIncrementalBlockKeyChurn: a repair that rewrites the blocking key
+// itself must re-detect both the block the tuple left and the block it
+// joined — the old block may lose a violation, the new one may gain one.
+func TestIncrementalBlockKeyChurn(t *testing.T) {
+	ctx := engine.New(2)
+	s := model.MustParseSchema("name,zipcode:int,city,state,salary:float,rate:float")
+	rel := model.NewRelation("tax", s)
+	// Block 10000: two tuples agreeing on city A. Block 10001: two tuples
+	// agreeing on city B. Moving t0 from 10000 to 10001 creates a violation
+	// in 10001 and leaves 10000 clean.
+	mk := func(id, zip int64, city string) model.Tuple {
+		return model.NewTuple(id, model.S("p"), model.I(zip), model.S(city),
+			model.S("ST"), model.F(1), model.F(1))
+	}
+	rel.Append(mk(0, 10000, "A"), mk(1, 10000, "A"), mk(2, 10001, "B"), mk(3, 10001, "B"))
+	det, err := NewIncrementalDetector(ctx, []*Rule{fdRule()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := det.Detect(rel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Violations) != 0 {
+		t.Fatalf("clean start expected, got %d violations", len(first.Violations))
+	}
+	rel.Tuples[0].Cells[1] = model.I(10001) // t0 changes block
+	inc, err := det.Detect(rel, []int64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inc.Violations) == 0 {
+		t.Fatal("moving t0 into block 10001 must violate zipcode -> city")
+	}
+	full, err := DetectRule(ctx, fdRule(), rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameViolations(t, inc, full, "block churn")
+	// And back: the violation must disappear from both caches.
+	rel.Tuples[0].Cells[1] = model.I(10000)
+	inc, err = det.Detect(rel, []int64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inc.Violations) != 0 {
+		t.Fatalf("moving t0 back must clear the violation, got %d", len(inc.Violations))
+	}
+}
+
+// TestIncrementalBoundedFallback: non-incrementalizable rules re-run only
+// when a change marked them stale — Detect with an empty changed set must
+// not launch any dataflow stages, and Observe must never run them at all.
+func TestIncrementalBoundedFallback(t *testing.T) {
+	ctx := engine.New(2)
+	rel := mutableTax(120, 10, 5)
+	rules := []*Rule{fdRule(), dcRule()} // dcRule (OCJoin) is the fallback rule
+	det, err := NewIncrementalDetector(ctx, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := det.Detect(rel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ctx.Stats().Snapshot().Stages
+	again, err := det.Detect(rel, []int64{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := ctx.Stats().Snapshot().Stages; after != before {
+		t.Errorf("Detect with no changes ran %d stages", after-before)
+	}
+	assertSameViolations(t, again, first, "cached re-assembly")
+
+	// A change marks the fallback rule stale; Observe must not re-run it
+	// (only the FD's touched block), Detect must.
+	idx := rel.ByID()
+	rel.Tuples[idx[3]].Cells[2] = model.S("Rewritten")
+	if err := det.Observe(rel, []int64{3}); err != nil {
+		t.Fatal(err)
+	}
+	full, err := DetectRules(ctx, rules, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := det.Detect(rel, []int64{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameViolations(t, res, full, "stale fallback refresh")
+}
+
+// TestIncrementalReset: Reset drops the caches so the next Detect re-primes
+// with a full pass and still matches full detection.
+func TestIncrementalReset(t *testing.T) {
+	ctx := engine.New(2)
+	rel := mutableTax(80, 8, 4)
+	det, err := NewIncrementalDetector(ctx, []*Rule{fdRule()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.Detect(rel, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite a swath of tuples without telling the detector, then Reset:
+	// the fallback path for untracked changes.
+	for i := 0; i < 20; i++ {
+		rel.Tuples[i].Cells[2] = model.S("Zapped")
+	}
+	det.Reset()
+	if det.Primed() {
+		t.Fatal("Reset must unprime the detector")
+	}
+	res, err := det.Detect(rel, []int64{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := DetectRule(ctx, fdRule(), rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameViolations(t, res, full, "post-reset")
+}
+
 func TestIncrementalNoChanges(t *testing.T) {
 	ctx := engine.New(2)
 	rel := mutableTax(60, 6, 1)

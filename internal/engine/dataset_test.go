@@ -230,14 +230,14 @@ func TestStatsCounters(t *testing.T) {
 	ctx := New(4)
 	ctx.Stats().Reset()
 	d := Parallelize(ctx, ints(100), 4)
-	if ctx.Stats().RecordsRead() != 100 {
-		t.Errorf("records read = %d", ctx.Stats().RecordsRead())
+	if ctx.Stats().Snapshot().RecordsRead != 100 {
+		t.Errorf("records read = %d", ctx.Stats().Snapshot().RecordsRead)
 	}
 	_ = GroupByKey(KeyBy(d, func(i int) int { return i % 3 })).MustCollect()
-	if ctx.Stats().RecordsShuffled() == 0 {
+	if ctx.Stats().Snapshot().RecordsShuffled == 0 {
 		t.Error("group by should shuffle")
 	}
-	if ctx.Stats().Stages() == 0 || ctx.Stats().Tasks() == 0 {
+	if ctx.Stats().Snapshot().Stages == 0 || ctx.Stats().Snapshot().Tasks == 0 {
 		t.Error("stage/task counters should advance")
 	}
 }

@@ -109,12 +109,12 @@ func TestFusionMatchesEagerModel(t *testing.T) {
 		// the whole input is only equivalent because every fusion op here is
 		// element-wise or order-preserving per partition — which also makes
 		// the final concatenation order deterministic.
-		before := ctx.Stats().Stages()
+		before := ctx.Stats().Snapshot().Stages
 		got, err := d.Collect()
 		if err != nil {
 			t.Fatalf("trial %d chain %v: %v", trial, names, err)
 		}
-		if stages := ctx.Stats().Stages() - before; stages != 1 {
+		if stages := ctx.Stats().Snapshot().Stages - before; stages != 1 {
 			t.Fatalf("trial %d chain %v: fused chain ran as %d stages, want 1", trial, names, stages)
 		}
 		if len(got) != len(want) {
@@ -139,7 +139,7 @@ func TestFusedChainIsOneStageWithSourceTasks(t *testing.T) {
 	chain = Filter(chain, func(v int) bool { return v%2 == 0 })
 	chain2 := FlatMap(chain, func(v int) []int { return []int{v, v} })
 	chain2 = Map(chain2, func(v int) int { return v * 2 })
-	if got := ctx.Stats().Stages(); got != 0 {
+	if got := ctx.Stats().Snapshot().Stages; got != 0 {
 		t.Fatalf("no action ran, but %d stages executed", got)
 	}
 	if _, err := chain2.Collect(); err != nil {
@@ -228,15 +228,15 @@ func TestErrIsAnAction(t *testing.T) {
 	if err := d.Err(); err != nil {
 		t.Fatal(err)
 	}
-	if ctx.Stats().Stages() != 1 {
-		t.Fatalf("Err should have executed the chain: stages = %d", ctx.Stats().Stages())
+	if ctx.Stats().Snapshot().Stages != 1 {
+		t.Fatalf("Err should have executed the chain: stages = %d", ctx.Stats().Snapshot().Stages)
 	}
 	// A second action reuses the cache: no new stage.
 	if _, err := d.Collect(); err != nil {
 		t.Fatal(err)
 	}
-	if ctx.Stats().Stages() != 1 {
-		t.Fatalf("Collect after Err should reuse the cache: stages = %d", ctx.Stats().Stages())
+	if ctx.Stats().Snapshot().Stages != 1 {
+		t.Fatalf("Collect after Err should reuse the cache: stages = %d", ctx.Stats().Snapshot().Stages)
 	}
 }
 
@@ -260,7 +260,7 @@ func TestReduceFusesChain(t *testing.T) {
 	if sum != want {
 		t.Fatalf("sum = %d, want %d", sum, want)
 	}
-	if got := ctx.Stats().Stages(); got != 1 {
+	if got := ctx.Stats().Snapshot().Stages; got != 1 {
 		t.Fatalf("fused reduce ran as %d stages, want 1", got)
 	}
 }

@@ -97,9 +97,12 @@ func Fig8a(cfg Config) ([]*Table, error) {
 		}
 		for _, n := range wl.sizes {
 			rel := wl.mk(n)
-			cleaner := cleanse.NewCleaner(engine.New(cfg.Workers), []*core.Rule{wl.rule},
+			cleaner, err := cleanse.NewCleaner(engine.New(cfg.Workers), []*core.Rule{wl.rule},
 				cleanse.WithAlgorithm(wl.algo),
 				cleanse.WithParallelRepair(repair.Options{}))
+			if err != nil {
+				return nil, err
+			}
 			secs, err := timeIt(func() error {
 				_, err := cleaner.Clean(rel)
 				return err
@@ -136,8 +139,11 @@ func Fig8b(cfg Config) ([]*Table, error) {
 	rows := cfg.rows(20000)
 	for _, rate := range []float64{0.01, 0.05, 0.10, 0.50} {
 		rel := datagen.TaxA(rows, rate, cfg.Seed).Dirty
-		cleaner := cleanse.NewCleaner(engine.New(cfg.Workers), []*core.Rule{rule},
+		cleaner, err := cleanse.NewCleaner(engine.New(cfg.Workers), []*core.Rule{rule},
 			cleanse.WithParallelRepair(repair.Options{}))
+		if err != nil {
+			return nil, err
+		}
 		res, err := cleaner.Clean(rel)
 		if err != nil {
 			return nil, err
@@ -170,7 +176,10 @@ func Fig12b(cfg Config) ([]*Table, error) {
 					Parallelism: cfg.Workers,
 				}))
 			}
-			cleaner := cleanse.NewCleaner(engine.New(cfg.Workers), []*core.Rule{rule}, opts...)
+			cleaner, err := cleanse.NewCleaner(engine.New(cfg.Workers), []*core.Rule{rule}, opts...)
+			if err != nil {
+				return nil, err
+			}
 			res, err := cleaner.Clean(rel)
 			if err != nil {
 				return nil, err
@@ -245,7 +254,10 @@ func Table4(cfg Config) ([]*Table, error) {
 			if parallel {
 				opts = append(opts, cleanse.WithParallelRepair(repair.Options{}))
 			}
-			cleaner := cleanse.NewCleaner(engine.New(cfg.Workers), rs, opts...)
+			cleaner, err := cleanse.NewCleaner(engine.New(cfg.Workers), rs, opts...)
+			if err != nil {
+				return nil, err
+			}
 			res, err := cleaner.Clean(tr.Dirty)
 			if err != nil {
 				return nil, err
@@ -270,7 +282,10 @@ func Table4(cfg Config) ([]*Table, error) {
 		if parallel {
 			opts = append(opts, cleanse.WithParallelRepair(repair.Options{}))
 		}
-		cleaner := cleanse.NewCleaner(engine.New(cfg.Workers), []*core.Rule{rule2}, opts...)
+		cleaner, err := cleanse.NewCleaner(engine.New(cfg.Workers), []*core.Rule{rule2}, opts...)
+		if err != nil {
+			return nil, err
+		}
 		res, err := cleaner.Clean(trB.Dirty)
 		if err != nil {
 			return nil, err

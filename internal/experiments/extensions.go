@@ -30,7 +30,10 @@ func ExtIncremental(cfg Config) ([]*Table, error) {
 			if incremental {
 				opts = append(opts, cleanse.WithIncremental())
 			}
-			cleaner := cleanse.NewCleaner(engine.New(cfg.Workers), []*core.Rule{rule}, opts...)
+			cleaner, err := cleanse.NewCleaner(engine.New(cfg.Workers), []*core.Rule{rule}, opts...)
+			if err != nil {
+				return nil, err
+			}
 			res, err := cleaner.Clean(rel)
 			if err != nil {
 				return nil, err

@@ -16,6 +16,13 @@ import (
 type EquivalenceClass struct {
 	// Dis is the distance used for tie reporting; nil means UnitDistance.
 	Dis DistanceFunc
+	// Prior, when set, contributes one extra vote per cell that a previous
+	// repair round drove to a value (a *ClassMemory). Streaming sessions use
+	// it to keep repair decisions stable across flushes; one-shot runs leave
+	// it nil and behave exactly as before.
+	Prior interface {
+		Prefer(k model.CellKey) (model.Value, bool)
+	}
 }
 
 // Name implements Algorithm.
@@ -111,6 +118,11 @@ func (e *EquivalenceClass) Repair(component []model.FixSet) ([]Assignment, error
 		}
 		for _, m := range members {
 			bump(m.cell.Value, 1)
+			if e.Prior != nil {
+				if v, ok := e.Prior.Prefer(m.cell.MapKey()); ok {
+					bump(v, 1)
+				}
+			}
 			for _, cv := range constVotes[m.cell.MapKey()] {
 				// A constant requirement outweighs frequency: CFD constants
 				// are hard. Weight it above any possible member count.
