@@ -3,7 +3,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check fmt vet build test race bench test-spill test-trace test-serve deprecations
+.PHONY: check fmt vet build test race bench test-spill test-trace test-serve test-vector deprecations
 
 check: fmt vet build test race deprecations
 
@@ -45,6 +45,16 @@ test-trace:
 	$(GO) test -run 'Explain|Trace' ./cmd/bigdansing/
 	$(GO) test -race ./internal/trace/...
 	$(GO) test -race -run 'Observer' ./internal/engine/
+
+# Vectorized execution subsystem: the column-batch model, the engine batch
+# operators and row accounting, the vectorized Scope/Detect executor with
+# its tuple-path equivalence suite, the storage batch reader, and the
+# -batch-size CLI flag — all under the race detector, since batch kernels
+# share immutable column vectors across tasks.
+test-vector:
+	$(GO) test -race -run 'Vec|Batch|Rechunk|RowsOf' \
+		./internal/model/ ./internal/engine/ ./internal/core/ \
+		./internal/rules/ ./internal/storage/ ./internal/cleanse/ ./cmd/bigdansing/
 
 # Streaming service subsystem: the session lifecycle in cleanse, the HTTP
 # session host, and the race check over the queue/worker/drain paths.

@@ -61,6 +61,7 @@ func run(args []string, out io.Writer) error {
 		vioOut    = fs.String("violations-out", "", "write the violation report (with possible fixes) to this CSV")
 		memBudget = fs.String("mem-budget", "", "memory budget for wide operators, e.g. 64MiB or 512K; shuffles spill to disk past it (default: unbounded)")
 		spillDir  = fs.String("spill-dir", "", "directory for spill run files (default: the system temp dir)")
+		batchSize = fs.Int("batch-size", 0, "rows per column batch for vectorized detection; 0 = tuple-at-a-time (1024 is a good starting point)")
 	)
 	var fds, dcs, cfds, dedups multiFlag
 	fs.Var(&fds, "fd", "functional dependency, e.g. 'zipcode -> city' (repeatable)")
@@ -136,6 +137,9 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("-mem-budget: %w", err)
 	}
+	if *batchSize < 0 {
+		return fmt.Errorf("-batch-size: %d is negative (0 disables vectorized execution)", *batchSize)
+	}
 	var tracer *trace.Tracer
 	if *explain || *tracePath != "" {
 		tracer = trace.New()
@@ -144,6 +148,7 @@ func run(args []string, out io.Writer) error {
 		Parallelism:       *workers,
 		MemoryBudgetBytes: budget,
 		SpillDir:          *spillDir,
+		BatchSize:         *batchSize,
 	}
 	if tracer != nil {
 		cfg.Observer = tracer

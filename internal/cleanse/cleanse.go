@@ -49,6 +49,11 @@ type Cleaner struct {
 	// detect-repair rounds. Equivalent to building the Context with
 	// engine.Config.Observer.
 	Observer engine.Observer
+	// BatchSize, when positive, runs vectorizable detection pipelines over
+	// column batches of this many rows (see engine.Config.BatchSize); it is
+	// applied to the context on the first Clean or Open. Zero keeps the
+	// tuple-at-a-time path. Results are identical either way.
+	BatchSize int
 
 	observerAttached bool
 }
@@ -102,6 +107,14 @@ func WithObserver(o engine.Observer) Option {
 	return func(c *Cleaner) { c.Observer = o }
 }
 
+// WithBatchSize runs vectorizable detection pipelines over column batches
+// of n rows — the engine's vectorized execution path. Zero keeps the
+// tuple-at-a-time path; negative values are rejected at construction.
+// Equivalent to building the Context with engine.Config.BatchSize.
+func WithBatchSize(n int) Option {
+	return func(c *Cleaner) { c.BatchSize = n }
+}
+
 // NewCleaner builds a Cleaner over ctx and rules, applying any options, and
 // validates the combined configuration: a nil context, an empty or nil rule
 // set, a rule that fails core validation, or a negative WithMaxIterations /
@@ -143,14 +156,22 @@ func (c *Cleaner) validate() error {
 	if c.FreezeAfter < 0 {
 		return fmt.Errorf("cleanse: WithFreezeAfter(%d): negative (0 keeps the default of 3)", c.FreezeAfter)
 	}
+	if c.BatchSize < 0 {
+		return fmt.Errorf("cleanse: WithBatchSize(%d): negative (0 keeps the tuple path)", c.BatchSize)
+	}
 	return nil
 }
 
-// attachObserver tees the configured Observer into the context once.
+// attachObserver applies the Cleaner's context-level settings once: it tees
+// the configured Observer into the context and installs the vectorized
+// batch size. Both Clean and Open route through it before any dataflow runs.
 func (c *Cleaner) attachObserver() {
 	if c.Observer != nil && !c.observerAttached {
 		c.Ctx.AttachObserver(c.Observer)
 		c.observerAttached = true
+	}
+	if c.BatchSize > 0 {
+		c.Ctx.SetBatchSize(c.BatchSize)
 	}
 }
 

@@ -32,6 +32,7 @@ func BenchmarkBlockGroup(b *testing.B) {
 	ctx := engine.New(4)
 	tuples := benchTuples(100000, 42)
 	block := func(t model.Tuple) model.Value { return t.Cell(0) }
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d := engine.Parallelize(ctx, tuples, 0)
@@ -60,6 +61,7 @@ func benchFixSets(n int) []model.FixSet {
 // the per-pipeline Distinct and the cross-pipeline dedupeResult.
 func BenchmarkViolationDedup(b *testing.B) {
 	sets := benchFixSets(50000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res := &DetectResult{}
@@ -72,4 +74,57 @@ func BenchmarkViolationDedup(b *testing.B) {
 			b.Fatalf("got %d", len(res.Violations))
 		}
 	}
+}
+
+// benchDetectRel is tax-shaped data with bench-friendly blocking: zipcode
+// cardinality scales with n so blocks stay ~16 rows and one iteration is a
+// realistic FD scan, not a quadratic blowup inside a handful of huge blocks
+// (vecTaxData's 12-zipcode domain is built for equivalence tests, not timing).
+func benchDetectRel(n int, seed int64) *model.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	s := model.MustParseSchema("name,zipcode:int,city,state,salary:float,rate:float")
+	rel := model.NewRelation("tax", s)
+	cities := []string{"NY", "LA", "CH", "SF", ""}
+	zipCard := n/16 + 1
+	for i := 0; i < n; i++ {
+		var rate model.Value
+		if rng.Intn(4) == 0 {
+			rate = model.F(0)
+		} else {
+			rate = model.F(float64(rng.Intn(40)))
+		}
+		rel.Append(model.NewTuple(int64(i+1),
+			model.S(fmt.Sprintf("p%d", i)),
+			model.I(int64(rng.Intn(zipCard))),
+			model.S(cities[rng.Intn(len(cities))]),
+			model.S("ST"),
+			model.F(float64(rng.Intn(9000))),
+			rate,
+		))
+	}
+	return rel
+}
+
+// BenchmarkDetectScan measures a full Scope→Block→Detect scan over the same
+// rule and relation on the tuple-at-a-time path and the vectorized batch
+// path. Uses the handwritten vec rules from exec_vector_test.go: a scoped FD
+// over a blocked pair kernel and a unary constant-predicate rule.
+func BenchmarkDetectScan(b *testing.B) {
+	rel := benchDetectRel(20000, 42)
+	run := func(name string, ctx *engine.Context, r *Rule) {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := DetectRule(ctx, r, rel); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	tuple := engine.New(4)
+	vec := engine.NewWithConfig(engine.Config{Parallelism: 4, BatchSize: 1024})
+	run("fd-tuple", tuple, vecScopedFDRule())
+	run("fd-vec", vec, vecScopedFDRule())
+	run("unary-tuple", tuple, vecUnaryRule())
+	run("unary-vec", vec, vecUnaryRule())
 }

@@ -47,19 +47,7 @@ func (r *DetectResult) Merge(o *DetectResult) {
 // the paper's observation that BigDansing, unlike SQL self-joins, does not
 // emit duplicate violations.
 func RunPlanSpark(ctx *engine.Context, pp *PhysicalPlan) (*DetectResult, error) {
-	ex := &sparkExec{
-		ctx:    ctx,
-		base:   make(map[*model.Relation]*engine.Dataset[model.Tuple]),
-		scoped: make(map[scanKey]*engine.Dataset[model.Tuple]),
-	}
-	result := &DetectResult{}
-	for i := range pp.Pipelines {
-		if err := ex.runPipeline(pp, &pp.Pipelines[i], result); err != nil {
-			return nil, err
-		}
-	}
-	dedupeResult(result)
-	return result, nil
+	return newSparkExec(ctx).run(pp)
 }
 
 // scanKey identifies a consolidated scoped scan: same dataset (labels over
@@ -71,9 +59,46 @@ type scanKey struct {
 }
 
 type sparkExec struct {
-	ctx    *engine.Context
+	ctx *engine.Context
+	// batchSize is the context's vectorized batch size; 0 keeps every
+	// pipeline on the tuple path.
+	batchSize int
+
 	base   map[*model.Relation]*engine.Dataset[model.Tuple]
 	scoped map[scanKey]*engine.Dataset[model.Tuple]
+
+	// Batch-path state (exec_vector.go): the chunked base batches and the
+	// scoped batch streams, cached under the same scan keys as the tuple
+	// path so consolidated scans share materializations on either path.
+	batched   map[batchKey]*engine.Dataset[*model.Batch]
+	scopedVec map[scanKey]*engine.Dataset[*model.Batch]
+	// pre holds relations whose data arrived as pre-built column batches
+	// (DetectRuleOnBatches); the batch path reads them zero-copy and the
+	// tuple path materializes them once in dataset().
+	pre map[*model.Relation][]*model.Batch
+}
+
+func newSparkExec(ctx *engine.Context) *sparkExec {
+	return &sparkExec{
+		ctx:       ctx,
+		batchSize: ctx.BatchSize(),
+		base:      make(map[*model.Relation]*engine.Dataset[model.Tuple]),
+		scoped:    make(map[scanKey]*engine.Dataset[model.Tuple]),
+		batched:   make(map[batchKey]*engine.Dataset[*model.Batch]),
+		scopedVec: make(map[scanKey]*engine.Dataset[*model.Batch]),
+		pre:       make(map[*model.Relation][]*model.Batch),
+	}
+}
+
+func (ex *sparkExec) run(pp *PhysicalPlan) (*DetectResult, error) {
+	result := &DetectResult{}
+	for i := range pp.Pipelines {
+		if err := ex.runPipeline(pp, &pp.Pipelines[i], result); err != nil {
+			return nil, err
+		}
+	}
+	dedupeResult(result)
+	return result, nil
 }
 
 func (ex *sparkExec) dataset(pp *PhysicalPlan, name string) (*engine.Dataset[model.Tuple], error) {
@@ -84,7 +109,15 @@ func (ex *sparkExec) dataset(pp *PhysicalPlan, name string) (*engine.Dataset[mod
 	if d, ok := ex.base[rel]; ok {
 		return d, nil
 	}
-	d := engine.Parallelize(ex.ctx, rel.Tuples, 0)
+	ts := rel.Tuples
+	if pre := ex.pre[rel]; len(pre) > 0 && len(ts) == 0 {
+		// The relation's data arrived columnar; materialize rows once for
+		// the tuple path (the relation itself stays untouched).
+		for _, b := range pre {
+			ts = b.AppendTuples(ts)
+		}
+	}
+	d := engine.Parallelize(ex.ctx, ts, 0)
 	ex.base[rel] = d
 	return d, nil
 }
@@ -205,21 +238,49 @@ func (ex *sparkExec) runPipeline(pp *PhysicalPlan, p *PhysicalPipeline, out *Det
 	var detectNs, genfixNs atomic.Int64
 	instrumented := ex.ctx.Instrumented()
 
-	items, err := ex.items(pp, p)
-	if err != nil {
-		return err
-	}
-	detect := p.Detect
-	if instrumented {
-		inner := detect
-		detect = func(it Item) []model.Violation {
-			t0 := time.Now()
-			vs := inner(it)
-			detectNs.Add(int64(time.Since(t0)))
-			return vs
+	var violations *engine.Dataset[model.Violation]
+	if ex.vecEligible(p) {
+		dBatch, dBlock := p.Vec.DetectBatch, p.Vec.DetectBlock
+		if instrumented {
+			if inner := dBatch; inner != nil {
+				dBatch = func(b *model.Batch) []model.Violation {
+					t0 := time.Now()
+					vs := inner(b)
+					detectNs.Add(int64(time.Since(t0)))
+					return vs
+				}
+			}
+			if inner := dBlock; inner != nil {
+				dBlock = func(us []model.Tuple, ordered bool) []model.Violation {
+					t0 := time.Now()
+					vs := inner(us, ordered)
+					detectNs.Add(int64(time.Since(t0)))
+					return vs
+				}
+			}
 		}
+		v, err := ex.vecViolations(pp, p, dBatch, dBlock)
+		if err != nil {
+			return err
+		}
+		violations = v
+	} else {
+		items, err := ex.items(pp, p)
+		if err != nil {
+			return err
+		}
+		detect := p.Detect
+		if instrumented {
+			inner := detect
+			detect = func(it Item) []model.Violation {
+				t0 := time.Now()
+				vs := inner(it)
+				detectNs.Add(int64(time.Since(t0)))
+				return vs
+			}
+		}
+		violations = engine.FlatMap(items, func(it Item) []model.Violation { return detect(it) })
 	}
-	violations := engine.FlatMap(items, func(it Item) []model.Violation { return detect(it) })
 	// No action here: Detect stays lazy so the enumeration, detection and
 	// (below) fix generation fuse into a single per-partition stage. A
 	// failure anywhere in the chain surfaces at the pipeline's collect.

@@ -51,6 +51,10 @@ type Pipeline struct {
 	OrderConds []join.Cond
 	Unary      bool
 	NumParts   int
+
+	// Vec carries the rule's vectorized operator forms, when it has any
+	// (see Rule.Vec); nil keeps the pipeline on the tuple path.
+	Vec *VecForms
 }
 
 // LogicalPlan is the validated, resolved form of a job (Figure 3's output):
@@ -192,6 +196,7 @@ func PlanRule(r *Rule, rel *model.Relation) (*LogicalPlan, error) {
 		OrderConds: r.OrderConds,
 		Unary:      r.Unary,
 		NumParts:   r.NumParts,
+		Vec:        r.Vec,
 	}
 	if r.BlockRight != nil {
 		// A self CoBlock: the same dataset keyed twice.

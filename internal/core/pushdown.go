@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"bigdansing/internal/engine"
+	"bigdansing/internal/model"
 	"bigdansing/internal/storage"
 )
 
@@ -45,11 +46,7 @@ func DetectRuleFromStore(ctx *engine.Context, st *storage.Store, dataset string,
 	}
 
 	if !havePushdown || r.Block == nil {
-		rel, err := st.Read(dataset, pick, storage.ReadOptions{Partition: -1})
-		if err != nil {
-			return nil, false, err
-		}
-		res, err := DetectRule(ctx, r, rel)
+		res, err := detectFromReplica(ctx, st, dataset, pick, -1, r)
 		return res, false, err
 	}
 
@@ -61,19 +58,47 @@ func DetectRuleFromStore(ctx *engine.Context, st *storage.Store, dataset string,
 	}
 	result := &DetectResult{}
 	for p := 0; p < plan.Partitions; p++ {
-		part, err := st.Read(dataset, pick, storage.ReadOptions{Partition: p})
+		res, err := detectFromReplica(ctx, st, dataset, pick, p, r)
 		if err != nil {
 			return nil, false, err
 		}
-		if part.Len() == 0 {
-			continue
+		if res != nil {
+			result.Merge(res)
 		}
-		res, err := DetectRule(ctx, r, part)
-		if err != nil {
-			return nil, false, err
-		}
-		result.Merge(res)
 	}
 	dedupeResult(result)
 	return result, true, nil
+}
+
+// detectFromReplica reads one partition (or, with part -1, the whole
+// replica) and detects r over it. With vectorized execution enabled the
+// stored columns feed the batch path zero-copy (ReadBatches →
+// DetectRuleOnBatches); otherwise rows are materialized as before. An
+// empty single partition returns (nil, nil) so the pushdown loop can skip
+// it without planning anything.
+func detectFromReplica(ctx *engine.Context, st *storage.Store, dataset, replica string, part int, r *Rule) (*DetectResult, error) {
+	opts := storage.ReadOptions{Partition: part}
+	if ctx.BatchSize() > 0 {
+		batches, schema, err := st.ReadBatches(dataset, replica, opts)
+		if err != nil {
+			return nil, err
+		}
+		total := 0
+		for _, b := range batches {
+			total += b.Len()
+		}
+		if total == 0 && part >= 0 {
+			return nil, nil
+		}
+		rel := model.NewRelation(dataset, schema)
+		return DetectRuleOnBatches(ctx, r, rel, batches)
+	}
+	rel, err := st.Read(dataset, replica, opts)
+	if err != nil {
+		return nil, err
+	}
+	if rel.Len() == 0 && part >= 0 {
+		return nil, nil
+	}
+	return DetectRule(ctx, r, rel)
 }

@@ -53,6 +53,15 @@ type Rule struct {
 	// letting the storage manager push the Block operator down to a
 	// content-partitioned replica (Appendix F; see DetectRuleFromStore).
 	BlockAttr string
+
+	// Vec optionally carries vectorized forms of the rule's operators
+	// (a batch Scope kernel, a column-indexed block key, batch/blocked
+	// Detect kernels). Rules that provide them run over column batches
+	// when the engine context enables a batch size; rules without them
+	// fall back transparently to the tuple path. The vectorized forms
+	// must be observationally identical to the tuple operators — same
+	// violations, same order.
+	Vec *VecForms
 }
 
 // Validate checks the rule is executable.

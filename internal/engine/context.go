@@ -333,6 +333,10 @@ type Context struct {
 	// engine take, like per-rule UDF timings.
 	instrumented bool
 
+	// batchSize is the vectorized-execution batch size; 0 disables the
+	// batch path (see Config.BatchSize).
+	batchSize int
+
 	// mem arbitrates the memory budget; nil means unbounded, in which case
 	// every wide operator takes its in-memory fast path.
 	mem *spill.Manager
@@ -364,6 +368,14 @@ type Config struct {
 	// system temp dir. Operators create (and always remove) per-operator
 	// subdirectories beneath it.
 	SpillDir string
+	// BatchSize is the row count per column batch for vectorized
+	// execution. Layers above the engine (core's detection executor,
+	// storage's batch reader) consult it via Context.BatchSize: a positive
+	// value makes eligible Scope→Detect chains run over model.Batch column
+	// vectors; zero (or negative) keeps every pipeline on the
+	// tuple-at-a-time path. The engine itself is agnostic — batch and
+	// tuple datasets use the same operators.
+	BatchSize int
 }
 
 // New creates a Context with the given parallelism (number of workers) and
@@ -379,6 +391,9 @@ func NewWithConfig(cfg Config) *Context {
 		p = runtime.GOMAXPROCS(0)
 	}
 	c := &Context{parallelism: p}
+	if cfg.BatchSize > 0 {
+		c.batchSize = cfg.BatchSize
+	}
 	c.obs = &c.stats
 	if cfg.Observer != nil {
 		c.obs = Tee(&c.stats, cfg.Observer)
@@ -421,6 +436,21 @@ func (c *Context) AttachObserver(o Observer) {
 	}
 	c.obs = Tee(c.obs, o)
 	c.instrumented = true
+}
+
+// BatchSize returns the configured vectorized-execution batch size; 0 means
+// the tuple-at-a-time path everywhere.
+func (c *Context) BatchSize() int { return c.batchSize }
+
+// SetBatchSize sets the vectorized-execution batch size after construction,
+// for layers (cleanse.WithBatchSize) that receive the setting without
+// building the Context themselves. Non-positive disables the batch path.
+// Like AttachObserver, call it before running any dataflow on the context.
+func (c *Context) SetBatchSize(n int) {
+	if n < 0 {
+		n = 0
+	}
+	c.batchSize = n
 }
 
 // MemoryBudget returns the configured wide-operator memory budget in bytes

@@ -1,0 +1,272 @@
+package model
+
+import "math/bits"
+
+// DefaultBatchSize is the row count vectorized stages default to: large
+// enough to amortize per-batch overhead, small enough that one batch's
+// working columns stay cache-resident.
+const DefaultBatchSize = 1024
+
+// Batch is a column-major slab of up to a few thousand rows: one flat
+// []Value vector per column plus the row IDs, and a selection bitmap that
+// marks which rows are still live. Vectorized operators scan the column
+// vectors and flip selection bits instead of allocating or copying tuples;
+// a row leaves columnar form only at a shuffle boundary or when a
+// tuple-at-a-time fallback needs it (TupleAt).
+//
+// A Batch is shared, immutable data plus private selection state: the IDs,
+// Cols and row backing may be referenced by many datasets at once and must
+// never be written, while the selection bitmap belongs to exactly one
+// owner. Kernels that narrow a shared batch take a CloneSel first —
+// copy-on-write for the only mutable part.
+type Batch struct {
+	// IDs holds the tuple ID of each row.
+	IDs []int64
+	// Cols holds one value vector per column; every vector has len(IDs)
+	// entries.
+	Cols [][]Value
+
+	// rows, when non-nil, is the row-major view this batch was built from
+	// (MakeBatches keeps a reference to its input slice), letting TupleAt
+	// hand back the original tuple without materializing cells.
+	rows []Tuple
+	// sel is the selection bitmap, one bit per row; nil means every row is
+	// live. Bit r of word r/64 is row r.
+	sel []uint64
+	// live caches the popcount of sel (== len(IDs) while sel is nil).
+	live int
+}
+
+// NewBatch wraps pre-built column vectors (for example a storage partition's
+// column files) as a fully-live batch. The slices are not copied; callers
+// must not mutate them afterwards.
+func NewBatch(ids []int64, cols [][]Value) *Batch {
+	return &Batch{IDs: ids, Cols: cols, live: len(ids)}
+}
+
+// MakeBatches transposes a row-major tuple slice into column batches of at
+// most size rows (size <= 0 uses DefaultBatchSize), chunking contiguously so
+// batch order preserves row order. Each batch keeps a reference to its input
+// window, so TupleAt returns the original tuples without materializing.
+// ncols is the column count to transpose (normally the schema width);
+// missing cells read as null, like Tuple.Cell.
+func MakeBatches(ts []Tuple, ncols, size int) []*Batch {
+	return makeBatches(ts, ncols, size, nil, true)
+}
+
+// MakeBatchesCols chunks ts exactly like MakeBatches but materializes only
+// the listed column vectors (deduplicated; indexes outside [0, ncols) are
+// dropped, and an empty list transposes nothing). The remaining Cols entries
+// stay nil and read through the row backing (Value, TupleAt), so a pipeline
+// whose kernels scan one or two declared columns skips copying the rest of
+// the schema.
+func MakeBatchesCols(ts []Tuple, ncols, size int, cols ...int) []*Batch {
+	keep := make([]int, 0, len(cols))
+	for _, c := range cols {
+		if c < 0 || c >= ncols {
+			continue
+		}
+		dup := false
+		for _, k := range keep {
+			if k == c {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			keep = append(keep, c)
+		}
+	}
+	return makeBatches(ts, ncols, size, keep, false)
+}
+
+func makeBatches(ts []Tuple, ncols, size int, keep []int, all bool) []*Batch {
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	if len(ts) == 0 {
+		return nil
+	}
+	out := make([]*Batch, 0, (len(ts)+size-1)/size)
+	for lo := 0; lo < len(ts); lo += size {
+		hi := lo + size
+		if hi > len(ts) {
+			hi = len(ts)
+		}
+		win := ts[lo:hi:hi]
+		n := len(win)
+		ids := make([]int64, n)
+		cols := make([][]Value, ncols)
+		switch {
+		case all:
+			flat := make([]Value, n*ncols) // one allocation for all columns
+			for c := range cols {
+				cols[c] = flat[c*n : (c+1)*n : (c+1)*n]
+			}
+			for r, t := range win {
+				ids[r] = t.ID
+				for c := 0; c < ncols; c++ {
+					cols[c][r] = t.Cell(c)
+				}
+			}
+		case len(keep) > 0:
+			flat := make([]Value, n*len(keep)) // one allocation for the kept columns
+			for x, c := range keep {
+				cols[c] = flat[x*n : (x+1)*n : (x+1)*n]
+			}
+			for r, t := range win {
+				ids[r] = t.ID
+				for _, c := range keep {
+					cols[c][r] = t.Cell(c)
+				}
+			}
+		default:
+			for r, t := range win {
+				ids[r] = t.ID
+			}
+		}
+		out = append(out, &Batch{IDs: ids, Cols: cols, rows: win, live: n})
+	}
+	return out
+}
+
+// Len returns the row capacity of the batch (live and killed rows alike).
+func (b *Batch) Len() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.IDs)
+}
+
+// LiveRows returns the number of selected rows. It is nil-safe so the
+// engine's row accounting can probe a zero-valued batch handle.
+func (b *Batch) LiveRows() int {
+	if b == nil {
+		return 0
+	}
+	return b.live
+}
+
+// Live reports whether row r is selected.
+func (b *Batch) Live(r int) bool {
+	if b.sel == nil {
+		return r >= 0 && r < len(b.IDs)
+	}
+	return b.sel[r>>6]&(1<<(uint(r)&63)) != 0
+}
+
+// Kill clears row r's selection bit. Killing a dead row is a no-op.
+func (b *Batch) Kill(r int) {
+	if b.sel == nil {
+		b.materializeSel()
+	}
+	w, bit := r>>6, uint64(1)<<(uint(r)&63)
+	if b.sel[w]&bit != 0 {
+		b.sel[w] &^= bit
+		b.live--
+	}
+}
+
+// materializeSel builds the all-ones bitmap for a batch that had every row
+// live (tail bits of the last word stay zero).
+func (b *Batch) materializeSel() {
+	n := len(b.IDs)
+	b.sel = make([]uint64, (n+63)>>6)
+	for i := range b.sel {
+		b.sel[i] = ^uint64(0)
+	}
+	if tail := uint(n) & 63; tail != 0 {
+		b.sel[len(b.sel)-1] = (uint64(1) << tail) - 1
+	}
+}
+
+// CloneSel returns a batch sharing this batch's immutable data (IDs, Cols,
+// row backing) with a private copy of the selection state — the
+// copy-on-write step a kernel takes before narrowing a batch another
+// dataset may also reference.
+func (b *Batch) CloneSel() *Batch {
+	nb := &Batch{IDs: b.IDs, Cols: b.Cols, rows: b.rows, live: b.live}
+	if b.sel != nil {
+		nb.sel = append([]uint64(nil), b.sel...)
+	}
+	return nb
+}
+
+// Slice returns the batch window [lo, hi) sharing the underlying vectors
+// (no values are copied). It is only valid on a fully-live batch — callers
+// re-chunk freshly built batches, never narrowed ones.
+func (b *Batch) Slice(lo, hi int) *Batch {
+	if b.sel != nil {
+		panic("model: Batch.Slice on a batch with a narrowed selection")
+	}
+	cols := make([][]Value, len(b.Cols))
+	for c, v := range b.Cols {
+		if v != nil {
+			cols[c] = v[lo:hi:hi]
+		}
+	}
+	nb := &Batch{IDs: b.IDs[lo:hi:hi], Cols: cols, live: hi - lo}
+	if b.rows != nil {
+		nb.rows = b.rows[lo:hi:hi]
+	}
+	return nb
+}
+
+// Value returns the value at row r, column c; out-of-range columns yield
+// null, the same leniency Tuple.Cell provides. Columns MakeBatchesCols left
+// unmaterialized read through the row backing.
+func (b *Batch) Value(r, c int) Value {
+	if c >= 0 && c < len(b.Cols) && b.Cols[c] != nil {
+		return b.Cols[c][r]
+	}
+	if b.rows != nil {
+		return b.rows[r].Cell(c)
+	}
+	return Null()
+}
+
+// TupleAt returns row r as a Tuple: the original backing tuple when the
+// batch was built from rows (no allocation), or a freshly materialized one
+// for batches read columnar from storage.
+func (b *Batch) TupleAt(r int) Tuple {
+	if b.rows != nil {
+		return b.rows[r]
+	}
+	cells := make([]Value, len(b.Cols))
+	for c := range b.Cols {
+		cells[c] = b.Cols[c][r]
+	}
+	return Tuple{ID: b.IDs[r], Cells: cells}
+}
+
+// ForEachLive calls f for every selected row in row order. Each bitmap word
+// is snapshotted before its bits are walked, so f may Kill the rows it
+// visits (the standard narrowing idiom) without disturbing the iteration.
+func (b *Batch) ForEachLive(f func(r int)) {
+	if b.sel == nil {
+		for r := 0; r < len(b.IDs); r++ {
+			f(r)
+		}
+		return
+	}
+	for w, word := range b.sel {
+		base := w << 6
+		for word != 0 {
+			r := base + bits.TrailingZeros64(word)
+			word &= word - 1
+			f(r)
+		}
+	}
+}
+
+// AppendTuples appends the live rows to dst as tuples, in row order — the
+// materialization step at a tuple-path boundary.
+func (b *Batch) AppendTuples(dst []Tuple) []Tuple {
+	if cap(dst)-len(dst) < b.live {
+		grown := make([]Tuple, len(dst), len(dst)+b.live)
+		copy(grown, dst)
+		dst = grown
+	}
+	b.ForEachLive(func(r int) { dst = append(dst, b.TupleAt(r)) })
+	return dst
+}

@@ -1,0 +1,217 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func batchTuples(n int) []Tuple {
+	ts := make([]Tuple, n)
+	for i := range ts {
+		ts[i] = NewTuple(int64(i+1), S("name"), I(int64(i%7)), F(float64(i)*1.5))
+	}
+	return ts
+}
+
+func TestMakeBatchesChunking(t *testing.T) {
+	ts := batchTuples(10)
+	bs := MakeBatches(ts, 3, 4)
+	if len(bs) != 3 {
+		t.Fatalf("10 rows in batches of 4: got %d batches", len(bs))
+	}
+	wantLens := []int{4, 4, 2}
+	next := 0
+	for i, b := range bs {
+		if b.Len() != wantLens[i] || b.LiveRows() != wantLens[i] {
+			t.Fatalf("batch %d: len=%d live=%d, want %d", i, b.Len(), b.LiveRows(), wantLens[i])
+		}
+		for r := 0; r < b.Len(); r++ {
+			want := ts[next]
+			if b.IDs[r] != want.ID {
+				t.Fatalf("batch %d row %d: id %d, want %d", i, r, b.IDs[r], want.ID)
+			}
+			for c := 0; c < 3; c++ {
+				if !b.Value(r, c).Equal(want.Cell(c)) {
+					t.Fatalf("batch %d row %d col %d: value mismatch", i, r, c)
+				}
+			}
+			// Row-backed batches hand back the original tuple.
+			if got := b.TupleAt(r); got.ID != want.ID {
+				t.Fatalf("TupleAt(%d) = id %d, want %d", r, got.ID, want.ID)
+			}
+			next++
+		}
+	}
+	if MakeBatches(nil, 3, 4) != nil {
+		t.Error("MakeBatches(nil) should be nil")
+	}
+	// size <= 0 uses the default.
+	if bs := MakeBatches(ts, 3, 0); len(bs) != 1 || bs[0].Len() != 10 {
+		t.Errorf("default batch size should produce one batch of 10")
+	}
+}
+
+func TestMakeBatchesColsPartialMaterialization(t *testing.T) {
+	ts := batchTuples(10)
+	// Duplicates and out-of-range indexes are tolerated; only cols 0 and 2
+	// end up as vectors.
+	bs := MakeBatchesCols(ts, 3, 4, 2, 0, 2, -1, 7)
+	if len(bs) != 3 {
+		t.Fatalf("10 rows in batches of 4: got %d batches", len(bs))
+	}
+	next := 0
+	for i, b := range bs {
+		if b.Cols[1] != nil {
+			t.Fatalf("batch %d: col 1 was not requested but is materialized", i)
+		}
+		if b.Cols[0] == nil || b.Cols[2] == nil {
+			t.Fatalf("batch %d: requested cols missing vectors", i)
+		}
+		for r := 0; r < b.Len(); r++ {
+			want := ts[next]
+			for c := 0; c < 3; c++ {
+				// Col 1 reads through the row backing; 0 and 2 from vectors.
+				if !b.Value(r, c).Equal(want.Cell(c)) {
+					t.Fatalf("batch %d row %d col %d: value mismatch", i, r, c)
+				}
+			}
+			if got := b.TupleAt(r); got.ID != want.ID {
+				t.Fatalf("TupleAt(%d) = id %d, want %d", r, got.ID, want.ID)
+			}
+			next++
+		}
+	}
+	// Slicing a partially materialized batch keeps nil columns nil.
+	win := MakeBatchesCols(ts, 3, 100)[0].Slice(2, 6)
+	if win.Cols[0] != nil || win.Cols[1] != nil || win.Cols[2] != nil {
+		t.Fatal("empty column request should materialize no vectors")
+	}
+	if !win.Value(1, 2).Equal(ts[3].Cell(2)) {
+		t.Fatal("sliced row-backed batch misreads through the row backing")
+	}
+}
+
+func TestBatchKillAndSelection(t *testing.T) {
+	b := MakeBatches(batchTuples(70), 3, 100)[0] // >64 rows: two bitmap words
+	if !b.Live(65) {
+		t.Fatal("all rows live initially")
+	}
+	b.Kill(0)
+	b.Kill(65)
+	b.Kill(65) // killing twice is a no-op
+	if b.LiveRows() != 68 {
+		t.Fatalf("live = %d, want 68", b.LiveRows())
+	}
+	if b.Live(0) || b.Live(65) || !b.Live(1) {
+		t.Fatal("selection bits wrong after Kill")
+	}
+	var visited []int
+	b.ForEachLive(func(r int) { visited = append(visited, r) })
+	if len(visited) != 68 || visited[0] != 1 {
+		t.Fatalf("ForEachLive visited %d rows starting at %d", len(visited), visited[0])
+	}
+	for i := 1; i < len(visited); i++ {
+		if visited[i] <= visited[i-1] {
+			t.Fatal("ForEachLive out of row order")
+		}
+	}
+}
+
+func TestBatchKillDuringIteration(t *testing.T) {
+	b := MakeBatches(batchTuples(130), 3, 200)[0]
+	var visited int
+	b.ForEachLive(func(r int) {
+		visited++
+		b.Kill(r) // narrowing while iterating is the standard kernel idiom
+	})
+	if visited != 130 {
+		t.Fatalf("visited %d rows, want all 130", visited)
+	}
+	if b.LiveRows() != 0 {
+		t.Fatalf("live = %d after killing every row", b.LiveRows())
+	}
+}
+
+func TestBatchCloneSelIsolation(t *testing.T) {
+	b := MakeBatches(batchTuples(8), 3, 8)[0]
+	b.Kill(2)
+	c := b.CloneSel()
+	c.Kill(5)
+	if b.LiveRows() != 7 || c.LiveRows() != 6 {
+		t.Fatalf("selection not isolated: base=%d clone=%d", b.LiveRows(), c.LiveRows())
+	}
+	if !b.Live(5) || c.Live(2) {
+		t.Fatal("clone selection leaked into base (or vice versa)")
+	}
+	// The immutable data is shared, not copied.
+	if &b.Cols[0][0] != &c.Cols[0][0] {
+		t.Fatal("CloneSel copied column vectors")
+	}
+}
+
+func TestBatchSlice(t *testing.T) {
+	b := MakeBatches(batchTuples(10), 3, 10)[0]
+	s := b.Slice(4, 9)
+	if s.Len() != 5 || s.LiveRows() != 5 {
+		t.Fatalf("slice len=%d live=%d, want 5", s.Len(), s.LiveRows())
+	}
+	if s.IDs[0] != 5 || !s.Value(0, 2).Equal(b.Value(4, 2)) {
+		t.Fatal("slice window misaligned")
+	}
+	if &s.Cols[1][0] != &b.Cols[1][4] {
+		t.Fatal("Slice copied values")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Slice on a narrowed batch should panic")
+		}
+	}()
+	b.Kill(0)
+	b.Slice(0, 2)
+}
+
+func TestBatchAppendTuplesOrder(t *testing.T) {
+	ts := batchTuples(9)
+	b := MakeBatches(ts, 3, 9)[0]
+	b.Kill(0)
+	b.Kill(4)
+	got := b.AppendTuples([]Tuple{ts[8]})
+	wantIDs := []int64{9, 2, 3, 4, 6, 7, 8, 9}
+	if len(got) != len(wantIDs) {
+		t.Fatalf("got %d tuples, want %d", len(got), len(wantIDs))
+	}
+	for i, id := range wantIDs {
+		if got[i].ID != id {
+			t.Fatalf("tuple %d: id %d, want %d", i, got[i].ID, id)
+		}
+	}
+}
+
+func TestNewBatchColumnarTupleAt(t *testing.T) {
+	// A storage-style batch with no row backing materializes tuples on
+	// demand — including NaN and -0, which must round-trip normalized.
+	ids := []int64{10, 11}
+	cols := [][]Value{
+		{F(math.NaN()), F(math.Copysign(0, -1))},
+		{S("a"), Null()},
+	}
+	b := NewBatch(ids, cols)
+	if b.Len() != 2 || b.LiveRows() != 2 {
+		t.Fatal("NewBatch should be fully live")
+	}
+	t0 := b.TupleAt(0)
+	if t0.ID != 10 || !t0.Cell(0).Equal(F(math.NaN())) {
+		t.Fatal("materialized tuple 0 wrong")
+	}
+	t1 := b.TupleAt(1)
+	if !t1.Cell(0).Equal(F(0)) {
+		t.Fatal("-0 should equal +0 under Value.Equal")
+	}
+	if !b.Value(0, 99).IsNull() {
+		t.Fatal("out-of-range column should read as null")
+	}
+	var nilBatch *Batch
+	if nilBatch.LiveRows() != 0 || nilBatch.Len() != 0 {
+		t.Fatal("nil batch should report zero rows")
+	}
+}

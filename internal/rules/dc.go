@@ -303,6 +303,7 @@ func (dc *DC) Compile(schema *model.Schema) (*core.Rule, error) {
 			GenFix: func(v model.Violation) []model.Fix {
 				return dcGenFix(schema, res, v)
 			},
+			Vec: dcUnaryVecForms(ruleID, res, cellsOf),
 		}, nil
 	}
 
@@ -354,8 +355,13 @@ func (dc *DC) Compile(schema *model.Schema) (*core.Rule, error) {
 		rule.Block = keyOf(leftCols)
 		if !same {
 			rule.BlockRight = keyOf(rightCols)
-		} else if len(leftCols) == 1 {
-			rule.BlockAttr = schema.Name(leftCols[0])
+		} else {
+			if len(leftCols) == 1 {
+				rule.BlockAttr = schema.Name(leftCols[0])
+			}
+			// Same-key blocking is the shape the vectorized executor runs;
+			// CoBlock (two-sided keys) stays on the tuple path.
+			rule.Vec = dcPairVecForms(ruleID, res, leftCols, cellsOf)
 		}
 	case len(shape.ordering) > 0 && len(shape.others) == 0:
 		conds := make([]join.Cond, 0, len(shape.ordering))
@@ -379,6 +385,157 @@ func (dc *DC) Compile(schema *model.Schema) (*core.Rule, error) {
 type resolvedPred struct {
 	p          Pred
 	lCol, rCol int
+}
+
+// dcUnaryVecForms builds a unary DC's vectorized Detect: each predicate
+// scans the batch's column vectors and kills the rows that fail it
+// (narrowing on a private selection copy, with an early exit once the batch
+// is empty), so the common all-clean batch never materializes a tuple.
+// Survivors — rows satisfying the whole conjunction — become violations in
+// row order, exactly as the tuple path's single-unit enumeration emits them.
+func dcUnaryVecForms(ruleID string, res []resolvedPred, cellsOf func(a, b model.Tuple) []model.Cell) *core.VecForms {
+	// Declare the predicate columns so the executor materializes exactly the
+	// vectors the kernel scans. The declaration must stay non-nil even for an
+	// all-constant rule — nil means "materialize everything".
+	scan := []int{}
+	addScan := func(c int) {
+		for _, k := range scan {
+			if k == c {
+				return
+			}
+		}
+		scan = append(scan, c)
+	}
+	for _, r := range res {
+		addScan(r.lCol)
+		if !r.p.RightIsConst {
+			addScan(r.rCol)
+		}
+	}
+	return &core.VecForms{
+		BlockCol: -1,
+		ScanCols: scan,
+		DetectBatch: func(b *model.Batch) []model.Violation {
+			s := b.CloneSel()
+			for _, r := range res {
+				if s.LiveRows() == 0 {
+					return nil
+				}
+				s.ForEachLive(func(row int) {
+					lv := s.Value(row, r.lCol)
+					rv := r.p.Const
+					if !r.p.RightIsConst {
+						rv = s.Value(row, r.rCol)
+					}
+					if !r.p.Op.Eval(lv, rv) {
+						s.Kill(row)
+					}
+				})
+			}
+			if s.LiveRows() == 0 {
+				return nil
+			}
+			out := make([]model.Violation, 0, s.LiveRows())
+			s.ForEachLive(func(row int) {
+				t := s.TupleAt(row)
+				out = append(out, model.NewViolation(ruleID, cellsOf(t, t)...))
+			})
+			return out
+		},
+	}
+}
+
+// dcPairVecForms builds the vectorized Detect of a same-key blocked DC:
+// per block, every column any predicate reads is gathered into a flat
+// vector once, then pair enumeration evaluates the conjunction against the
+// vectors and materializes cells only for violating pairs. Predicate
+// semantics (t1 = us[i], t2 = us[j]) and enumeration order match the tuple
+// detect fed by PairsUnique/PairsOrdered exactly.
+func dcPairVecForms(ruleID string, res []resolvedPred, leftCols []int, cellsOf func(a, b model.Tuple) []model.Cell) *core.VecForms {
+	// Map each predicate's columns onto a dense vector index.
+	var usedCols []int
+	colOf := make(map[int]int)
+	addCol := func(c int) int {
+		if i, ok := colOf[c]; ok {
+			return i
+		}
+		colOf[c] = len(usedCols)
+		usedCols = append(usedCols, c)
+		return len(usedCols) - 1
+	}
+	type vecPred struct {
+		r          resolvedPred
+		lVec, rVec int // rVec is -1 for constant right sides
+	}
+	vps := make([]vecPred, len(res))
+	for i, r := range res {
+		vp := vecPred{r: r, lVec: addCol(r.lCol), rVec: -1}
+		if !r.p.RightIsConst {
+			vp.rVec = addCol(r.rCol)
+		}
+		vps[i] = vp
+	}
+
+	vec := &core.VecForms{BlockCol: -1}
+	if len(leftCols) == 1 {
+		vec.BlockCol = leftCols[0]
+	}
+	vec.DetectBlock = func(us []model.Tuple, ordered bool) []model.Violation {
+		n := len(us)
+		if n < 2 {
+			return nil
+		}
+		buf := make([]model.Value, len(usedCols)*n) // one allocation for all vectors
+		vecs := make([][]model.Value, len(usedCols))
+		for x := range vecs {
+			vecs[x] = buf[x*n : (x+1)*n]
+		}
+		for i, t := range us {
+			for x, c := range usedCols {
+				vecs[x][i] = t.Cell(c)
+			}
+		}
+		var out []model.Violation
+		emit := func(i, j int) {
+			for _, vp := range vps {
+				li := i
+				if vp.r.p.LeftTuple == 2 {
+					li = j
+				}
+				lv := vecs[vp.lVec][li]
+				var rv model.Value
+				switch {
+				case vp.rVec < 0:
+					rv = vp.r.p.Const
+				case vp.r.p.RightTuple == 2:
+					rv = vecs[vp.rVec][j]
+				default:
+					rv = vecs[vp.rVec][i]
+				}
+				if !vp.r.p.Op.Eval(lv, rv) {
+					return
+				}
+			}
+			out = append(out, model.NewViolation(ruleID, cellsOf(us[i], us[j])...))
+		}
+		if ordered {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if j != i {
+						emit(i, j)
+					}
+				}
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					emit(i, j)
+				}
+			}
+		}
+		return out
+	}
+	return vec
 }
 
 // dcGenFix proposes, for each predicate, the update that negates it —

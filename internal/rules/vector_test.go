@@ -1,0 +1,244 @@
+package rules
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"bigdansing/internal/cleanse"
+	"bigdansing/internal/core"
+	"bigdansing/internal/engine"
+	"bigdansing/internal/model"
+)
+
+// vecRandomTax generates tax-shaped data dense in block collisions and in
+// the value-normalization corners: NaN, -0, nulls and cross-kind numerics.
+func vecRandomTax(n int, seed int64) *model.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	s := model.MustParseSchema("name,zipcode:int,city,state,salary:float,rate:float")
+	rel := model.NewRelation("tax", s)
+	cities := []string{"NY", "LA", "CH", "SF"}
+	states := []string{"NY", "CA", "IL"}
+	for i := 0; i < n; i++ {
+		var rate model.Value
+		switch rng.Intn(6) {
+		case 0:
+			rate = model.F(math.NaN())
+		case 1:
+			rate = model.F(math.Copysign(0, -1))
+		case 2:
+			rate = model.I(int64(rng.Intn(5)))
+		case 3:
+			rate = model.Null()
+		default:
+			rate = model.F(float64(rng.Intn(30)))
+		}
+		rel.Append(model.NewTuple(int64(i+1),
+			model.S(fmt.Sprintf("p%d", i)),
+			model.I(int64(rng.Intn(15))),
+			model.S(cities[rng.Intn(len(cities))]),
+			model.S(states[rng.Intn(len(states))]),
+			model.F(float64(rng.Intn(5000))),
+			rate,
+		))
+	}
+	return rel
+}
+
+// requireSameDetect asserts batch-path detection matches the tuple path
+// violation for violation, in order.
+func requireSameDetect(t *testing.T, r *core.Rule, rel *model.Relation, sizes []int) {
+	t.Helper()
+	want, err := core.DetectRule(engine.New(4), r, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range sizes {
+		ctx := engine.NewWithConfig(engine.Config{Parallelism: 4, BatchSize: size})
+		got, err := core.DetectRule(ctx, r, rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Violations) != len(want.Violations) {
+			t.Fatalf("%s batch=%d rows=%d: %d violations, want %d",
+				r.ID, size, rel.Len(), len(got.Violations), len(want.Violations))
+		}
+		for i := range want.Violations {
+			if want.Violations[i].MapKey() != got.Violations[i].MapKey() {
+				t.Fatalf("%s batch=%d: violation %d differs:\n  want %v\n  got  %v",
+					r.ID, size, i, want.Violations[i], got.Violations[i])
+			}
+			if len(want.FixSets[i].Fixes) != len(got.FixSets[i].Fixes) {
+				t.Fatalf("%s batch=%d: violation %d fix count differs", r.ID, size, i)
+			}
+		}
+	}
+}
+
+var vecSizes = []int{1, 3, 7, 1024}
+
+func TestVecFDEquivalence(t *testing.T) {
+	schema := model.MustParseSchema("name,zipcode:int,city,state,salary:float,rate:float")
+	compile := func(spec string) *core.Rule {
+		fd, err := ParseFD("fd", spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := fd.Compile(schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Vec == nil || r.Vec.DetectBlock == nil {
+			t.Fatalf("compiled FD %q should carry vectorized forms", spec)
+		}
+		return r
+	}
+	single := compile("zipcode -> city")
+	if single.Vec.BlockCol != 1 {
+		t.Fatalf("single-attribute FD should block on column 1, got %d", single.Vec.BlockCol)
+	}
+	multi := compile("zipcode, state -> city, rate")
+	if multi.Vec.BlockCol != -1 {
+		t.Fatal("composite-LHS FD must not claim a single block column")
+	}
+	// Empty, single-row, short-tail and full-size relations.
+	for _, n := range []int{0, 1, 5, 400} {
+		rel := vecRandomTax(n, int64(n)+21)
+		requireSameDetect(t, single, rel, vecSizes)
+		requireSameDetect(t, multi, rel, vecSizes)
+	}
+}
+
+func TestVecDCEquivalence(t *testing.T) {
+	schema := model.MustParseSchema("name,zipcode:int,city,state,salary:float,rate:float")
+	compile := func(spec string, wantVec bool) *core.Rule {
+		t.Helper()
+		dc, err := ParseDC("dc", spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := dc.Compile(schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantVec && r.Vec == nil {
+			t.Fatalf("compiled DC %q should carry vectorized forms", spec)
+		}
+		return r
+	}
+	rel := vecRandomTax(400, 42)
+
+	// Unary (constant predicates): DetectBatch path.
+	unary := compile("t1.salary > 2500 & t1.rate < 3", true)
+	if unary.Vec.DetectBatch == nil {
+		t.Fatal("unary DC should compile a batch Detect")
+	}
+	requireSameDetect(t, unary, rel, vecSizes)
+
+	// Blocked symmetric (same attribute both sides): unique pairs.
+	sym := compile("t1.city = t2.city & t1.state != t2.state", true)
+	requireSameDetect(t, sym, rel, vecSizes)
+
+	// Blocked asymmetric: ordered-pairs enumeration plus dedup.
+	asym := compile("t1.zipcode = t2.zipcode & t1.salary > t2.salary & t1.rate < 20", true)
+	requireSameDetect(t, asym, rel, vecSizes)
+
+	// OCJoin shape compiles no vec forms and still matches via fallback.
+	ocj := compile("t1.salary > t2.salary & t1.rate < t2.rate", false)
+	if ocj.Vec != nil {
+		t.Fatal("OCJoin-shaped DC should stay on the tuple path")
+	}
+	requireSameDetect(t, ocj, vecRandomTax(120, 8), vecSizes)
+
+	// Short tails and empty input for the unary batch kernel.
+	for _, n := range []int{0, 1, 5} {
+		requireSameDetect(t, unary, vecRandomTax(n, int64(n)+3), vecSizes)
+	}
+}
+
+func TestVecCleanEquivalence(t *testing.T) {
+	// Full FD+DC cleansing loop: the batch path must produce the exact
+	// repaired instance the tuple path produces.
+	schema := model.MustParseSchema("name,zipcode:int,city,state,salary:float,rate:float")
+	rel := vecRandomTax(300, 77)
+
+	buildRules := func() []*core.Rule {
+		fd, err := ParseFD("fd1", "zipcode -> city")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fdr, err := fd.Compile(schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dc, err := ParseDC("dc1", "t1.city = t2.city & t1.state != t2.state")
+		if err != nil {
+			t.Fatal(err)
+		}
+		dcr, err := dc.Compile(schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return []*core.Rule{fdr, dcr}
+	}
+
+	clean := func(batchSize int) *cleanse.Result {
+		t.Helper()
+		opts := []cleanse.Option{cleanse.WithMaxIterations(4)}
+		if batchSize > 0 {
+			opts = append(opts, cleanse.WithBatchSize(batchSize))
+		}
+		c, err := cleanse.NewCleaner(engine.New(4), buildRules(), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Clean(rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	want := clean(0)
+	for _, size := range []int{1, 64, 1024} {
+		got := clean(size)
+		if got.Clean.Len() != want.Clean.Len() {
+			t.Fatalf("batch=%d: %d tuples, want %d", size, got.Clean.Len(), want.Clean.Len())
+		}
+		for i := range want.Clean.Tuples {
+			w, g := want.Clean.Tuples[i], got.Clean.Tuples[i]
+			if w.ID != g.ID {
+				t.Fatalf("batch=%d: tuple %d id %d, want %d", size, i, g.ID, w.ID)
+			}
+			for c := 0; c < schema.Len(); c++ {
+				if !w.Cell(c).Equal(g.Cell(c)) {
+					t.Fatalf("batch=%d: tuple %d col %d: %v, want %v",
+						size, i, c, g.Cell(c), w.Cell(c))
+				}
+			}
+		}
+		wr, gr := want.Report(), got.Report()
+		if wr.InitialViolations != gr.InitialViolations || wr.Iterations != gr.Iterations {
+			t.Fatalf("batch=%d: report differs: %d/%d violations, %d/%d iterations",
+				size, gr.InitialViolations, wr.InitialViolations, gr.Iterations, wr.Iterations)
+		}
+	}
+}
+
+func TestVecBatchSizeValidation(t *testing.T) {
+	fd, err := ParseFD("fd1", "zipcode -> city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := fd.Compile(model.MustParseSchema("name,zipcode:int,city"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cleanse.NewCleaner(engine.New(2), []*core.Rule{r}, cleanse.WithBatchSize(-1)); err == nil {
+		t.Fatal("negative WithBatchSize should be rejected at construction")
+	}
+	if _, err := cleanse.NewCleaner(engine.New(2), []*core.Rule{r}, cleanse.WithBatchSize(0)); err != nil {
+		t.Fatalf("zero WithBatchSize is the tuple path and must validate: %v", err)
+	}
+}

@@ -1,0 +1,86 @@
+package storage
+
+import (
+	"testing"
+
+	"bigdansing/internal/model"
+)
+
+func TestReadBatchesMatchesRead(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := sampleRel(60)
+	if _, err := st.Upload(rel, "zipcode", 5); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, opts := range []ReadOptions{
+		{Partition: -1},
+		{Partition: 2},
+		{Partition: -1, Columns: []string{"zipcode", "city"}},
+	} {
+		want, err := st.Read("tax", "zipcode", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batches, schema, err := st.ReadBatches("tax", "zipcode", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if schema.String() != want.Schema.String() {
+			t.Fatalf("opts %+v: schema %s, want %s", opts, schema, want.Schema)
+		}
+		var got []model.Tuple
+		for _, b := range batches {
+			if b.Len() == 0 {
+				t.Fatal("ReadBatches must skip empty partitions")
+			}
+			if len(b.Cols) != schema.Len() {
+				t.Fatalf("batch has %d columns, schema %d", len(b.Cols), schema.Len())
+			}
+			got = b.AppendTuples(got)
+		}
+		if len(got) != want.Len() {
+			t.Fatalf("opts %+v: %d rows, want %d", opts, len(got), want.Len())
+		}
+		for i, w := range want.Tuples {
+			if got[i].ID != w.ID {
+				t.Fatalf("opts %+v row %d: id %d, want %d (order must match Read)", opts, i, got[i].ID, w.ID)
+			}
+			for c := 0; c < schema.Len(); c++ {
+				if !got[i].Cell(c).Equal(w.Cell(c)) {
+					t.Fatalf("opts %+v row %d col %d: value mismatch", opts, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestReadBatchesBlockKeyPushdown(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := sampleRel(40)
+	if _, err := st.Upload(rel, "zipcode", 4); err != nil {
+		t.Fatal(err)
+	}
+	key := model.I(10003)
+	want, err := st.Read("tax", "zipcode", ReadOptions{Partition: -1, BlockKey: &key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches, _, err := st.ReadBatches("tax", "zipcode", ReadOptions{Partition: -1, BlockKey: &key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := 0
+	for _, b := range batches {
+		rows += b.Len()
+	}
+	if rows != want.Len() {
+		t.Fatalf("block-key read: %d rows, want %d", rows, want.Len())
+	}
+}

@@ -222,11 +222,32 @@ type ReadOptions struct {
 	BlockKey *model.Value
 }
 
-// Read materializes (part of) a replica according to opts.
+// Read materializes (part of) a replica according to opts as a row-major
+// relation: the columnar files are read once (ReadBatches) and the rows
+// assembled from them.
 func (s *Store) Read(name, partAttr string, opts ReadOptions) (*model.Relation, error) {
-	plan, err := s.Plan(name, partAttr)
+	batches, outSchema, err := s.ReadBatches(name, partAttr, opts)
 	if err != nil {
 		return nil, err
+	}
+	rel := model.NewRelation(name, outSchema)
+	for _, b := range batches {
+		rel.Tuples = b.AppendTuples(rel.Tuples)
+	}
+	return rel, nil
+}
+
+// ReadBatches reads (part of) a replica according to opts straight into
+// column batches — one fully-live batch per stored partition, wrapping the
+// decoded column vectors without a row-major copy. This is the zero-copy
+// feed for vectorized execution: the stored layout is already columnar, so
+// the batch path never materializes tuples at read time (rows surface only
+// via Batch.TupleAt / AppendTuples). Column and partition selection match
+// Read exactly; the returned schema covers the selected columns.
+func (s *Store) ReadBatches(name, partAttr string, opts ReadOptions) ([]*model.Batch, *model.Schema, error) {
+	plan, err := s.Plan(name, partAttr)
+	if err != nil {
+		return nil, nil, err
 	}
 	schema := model.MustParseSchema(plan.Schema)
 	dir := s.replicaDir(name, partAttr)
@@ -237,7 +258,7 @@ func (s *Store) Read(name, partAttr string, opts ReadOptions) (*model.Relation, 
 		for _, cn := range opts.Columns {
 			c, ok := schema.Index(cn)
 			if !ok {
-				return nil, fmt.Errorf("storage: unknown column %q", cn)
+				return nil, nil, fmt.Errorf("storage: unknown column %q", cn)
 			}
 			cols = append(cols, c)
 		}
@@ -252,12 +273,12 @@ func (s *Store) Read(name, partAttr string, opts ReadOptions) (*model.Relation, 
 	switch {
 	case opts.BlockKey != nil:
 		if plan.PartitionAttr == "" {
-			return nil, fmt.Errorf("storage: block pushdown needs a content-partitioned replica")
+			return nil, nil, fmt.Errorf("storage: block pushdown needs a content-partitioned replica")
 		}
 		partsToRead = append(partsToRead, int(opts.BlockKey.Hash()%uint64(plan.Partitions)))
 	case opts.Partition >= 0:
 		if opts.Partition >= plan.Partitions {
-			return nil, fmt.Errorf("storage: partition %d out of range (%d)", opts.Partition, plan.Partitions)
+			return nil, nil, fmt.Errorf("storage: partition %d out of range (%d)", opts.Partition, plan.Partitions)
 		}
 		partsToRead = append(partsToRead, opts.Partition)
 	default:
@@ -266,29 +287,26 @@ func (s *Store) Read(name, partAttr string, opts ReadOptions) (*model.Relation, 
 		}
 	}
 
-	rel := model.NewRelation(name, outSchema)
+	batches := make([]*model.Batch, 0, len(partsToRead))
 	for _, p := range partsToRead {
 		ids, err := readIDs(partFile(dir, p, -1))
 		if err != nil {
-			return nil, err
+			return nil, nil, err
+		}
+		if len(ids) == 0 {
+			continue
 		}
 		colVals := make([][]model.Value, len(cols))
 		for i, c := range cols {
 			vals, err := readColumn(partFile(dir, p, c), len(ids))
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			colVals[i] = vals
 		}
-		for r, id := range ids {
-			cells := make([]model.Value, len(cols))
-			for i := range cols {
-				cells[i] = colVals[i][r]
-			}
-			rel.Append(model.Tuple{ID: id, Cells: cells})
-		}
+		batches = append(batches, model.NewBatch(ids, colVals))
 	}
-	return rel, nil
+	return batches, outSchema, nil
 }
 
 func partFile(dir string, part, col int) string {
