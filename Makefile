@@ -3,7 +3,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check fmt vet build test race bench test-spill test-trace test-serve test-vector deprecations
+.PHONY: check fmt vet build test race bench test-spill test-trace test-serve test-vector test-net fuzz-short deprecations
 
 check: fmt vet build test race deprecations
 
@@ -20,8 +20,10 @@ vet:
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test (and subtest) execution order, flushing out
+# inter-test state dependence; failures print the seed to reproduce.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
 	$(GO) test -race ./internal/engine/... ./internal/repair/...
@@ -63,6 +65,22 @@ test-serve:
 	$(GO) test ./internal/serve/
 	$(GO) test -race ./internal/serve/
 	$(GO) test -race -run 'Session' ./internal/cleanse/
+
+# Networked multi-process backend: wire codec units, the consistent-hash
+# ring, cross-backend equivalence (dataflow ops + FD/DC end-to-end cleanse,
+# plain and under the race detector), recovery/panic hygiene, the chaos
+# suite (50 seeded fault schedules), and the net paths of serve and the CLI.
+test-net:
+	$(GO) test ./internal/netexec/...
+	$(GO) test -race ./internal/netexec/...
+	$(GO) test -run 'Net' ./internal/serve/ ./cmd/bigdansing/
+
+# 30 seconds of coverage-guided fuzzing per wire-codec fuzzer, seeded from
+# testdata/fuzz corpora. A finding is checked in as a new corpus file.
+fuzz-short:
+	$(GO) test -run xxx -fuzz FuzzReadFrame -fuzztime 30s ./internal/netexec/
+	$(GO) test -run xxx -fuzz FuzzFrameRoundTrip -fuzztime 30s ./internal/netexec/
+	$(GO) test -run xxx -fuzz FuzzSplitRecords -fuzztime 30s ./internal/netexec/
 
 # deprecations fails when code references the deprecated engine.Stats
 # getters (use Stats().Snapshot() fields instead). Allowed: the getters

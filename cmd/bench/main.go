@@ -17,9 +17,13 @@ import (
 	"time"
 
 	"bigdansing/internal/experiments"
+	"bigdansing/internal/netexec"
 )
 
 func main() {
+	// ext-net spawns real worker processes by re-executing this binary with
+	// the worker env hook set; such children serve partitions and exit here.
+	netexec.MaybeWorker()
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)

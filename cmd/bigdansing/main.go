@@ -25,16 +25,32 @@ import (
 	"bigdansing/internal/core"
 	"bigdansing/internal/engine"
 	"bigdansing/internal/model"
+	"bigdansing/internal/netexec"
 	"bigdansing/internal/repair"
 	"bigdansing/internal/rules"
 	"bigdansing/internal/trace"
 )
 
 func main() {
+	// The net backend spawns workers by re-executing this binary with the
+	// worker env hook set; such child processes never reach run().
+	netexec.MaybeWorker()
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "bigdansing:", err)
 		os.Exit(1)
 	}
+}
+
+// runWorker implements the hidden `worker` subcommand: a standalone netexec
+// worker for pre-started deployments (`-net-addrs` on the coordinator side).
+// The spawned-worker path uses the env hook in main instead.
+func runWorker(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bigdansing worker", flag.ContinueOnError)
+	addr := fs.String("addr", "auto", "listen address (host:port, or auto for an ephemeral port)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	return netexec.WorkerMain(*addr, out)
 }
 
 func run(args []string, out io.Writer) error {
@@ -42,6 +58,9 @@ func run(args []string, out io.Writer) error {
 	// one-shot pipeline.
 	if len(args) > 0 && args[0] == "serve" {
 		return runServe(args[1:], out)
+	}
+	if len(args) > 0 && args[0] == "worker" {
+		return runWorker(args[1:], out)
 	}
 	fs := flag.NewFlagSet("bigdansing", flag.ContinueOnError)
 	var (
@@ -62,6 +81,9 @@ func run(args []string, out io.Writer) error {
 		memBudget = fs.String("mem-budget", "", "memory budget for wide operators, e.g. 64MiB or 512K; shuffles spill to disk past it (default: unbounded)")
 		spillDir  = fs.String("spill-dir", "", "directory for spill run files (default: the system temp dir)")
 		batchSize = fs.Int("batch-size", 0, "rows per column batch for vectorized detection; 0 = tuple-at-a-time (1024 is a good starting point)")
+		backend   = fs.String("backend", "local", "execution backend: local (in-process) | net (worker processes over TCP)")
+		netWork   = fs.Int("net-workers", 0, "worker processes for -backend=net; 0 = the -workers value")
+		netAddrs  = fs.String("net-addrs", "", "comma-separated addresses of pre-started workers (`bigdansing worker -addr ...`) to join instead of spawning")
 	)
 	var fds, dcs, cfds, dedups multiFlag
 	fs.Var(&fds, "fd", "functional dependency, e.g. 'zipcode -> city' (repeatable)")
@@ -150,10 +172,32 @@ func run(args []string, out io.Writer) error {
 		SpillDir:          *spillDir,
 		BatchSize:         *batchSize,
 	}
+	switch *backend {
+	case "local":
+	case "net":
+		cfg.Backend = engine.BackendNet
+		cfg.NetWorkers = *netWork
+		if cfg.NetWorkers <= 0 {
+			cfg.NetWorkers = *workers
+		}
+		if *netAddrs != "" {
+			for _, a := range strings.Split(*netAddrs, ",") {
+				if a = strings.TrimSpace(a); a != "" {
+					cfg.NetWorkerAddrs = append(cfg.NetWorkerAddrs, a)
+				}
+			}
+		}
+	default:
+		return fmt.Errorf("unknown backend %q (want local or net)", *backend)
+	}
 	if tracer != nil {
 		cfg.Observer = tracer
 	}
-	ctx := engine.NewWithConfig(cfg)
+	ctx, err := engine.NewContext(cfg)
+	if err != nil {
+		return err
+	}
+	defer ctx.Close()
 	if *stats {
 		defer func() {
 			fmt.Fprintf(out, "\ndataflow stages:\n%s", ctx.Stats().Snapshot())

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"bigdansing/internal/netexec"
+)
+
+// TestMain lets the test binary double as a netexec worker, so the
+// -backend=net runs below can spawn their worker processes by re-exec.
+func TestMain(m *testing.M) {
+	netexec.MaybeWorker()
+	os.Exit(m.Run())
+}
+
+// TestCleanModeNetBackend runs the full clean pipeline on the networked
+// backend and checks it reports the same violation counts as the local run.
+func TestCleanModeNetBackend(t *testing.T) {
+	input := writeTaxCSV(t)
+	baseArgs := []string{
+		"-input", input, "-schema", taxSchema,
+		"-fd", "zipcode -> city",
+		"-mode", "clean",
+	}
+	var local bytes.Buffer
+	if err := run(baseArgs, &local); err != nil {
+		t.Fatal(err)
+	}
+	var net bytes.Buffer
+	if err := run(append(baseArgs, "-backend", "net", "-net-workers", "2"), &net); err != nil {
+		t.Fatal(err)
+	}
+	// Compare everything but the wall-clock lines.
+	pick := func(out string) string {
+		var keep []string
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, "iterations:") || strings.HasPrefix(line, "violations:") ||
+				strings.HasPrefix(line, "updates applied:") {
+				keep = append(keep, line)
+			}
+		}
+		return strings.Join(keep, "\n")
+	}
+	if pick(local.String()) == "" || pick(local.String()) != pick(net.String()) {
+		t.Errorf("net backend output differs:\nlocal:\n%s\nnet:\n%s", &local, &net)
+	}
+}
+
+// TestDetectModeNetStats checks -backend=net -stats surfaces nonzero
+// network counters in the snapshot — the truth-in-tracing requirement.
+func TestDetectModeNetStats(t *testing.T) {
+	input := writeTaxCSV(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-input", input, "-schema", taxSchema,
+		"-dc", "t1.salary > t2.salary & t1.rate < t2.rate",
+		"-mode", "detect", "-stats",
+		"-backend", "net", "-net-workers", "2",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "violations: 3") {
+		t.Errorf("unexpected detect output:\n%s", &out)
+	}
+	if !strings.Contains(out.String(), "net:") {
+		t.Errorf("-stats on the net backend should include network counters:\n%s", &out)
+	}
+}
+
+// TestBackendFlagValidation pins the -backend error path.
+func TestBackendFlagValidation(t *testing.T) {
+	input := writeTaxCSV(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-input", input, "-schema", taxSchema,
+		"-fd", "zipcode -> city", "-backend", "yarn",
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "unknown backend") {
+		t.Fatalf("want unknown backend error, got %v", err)
+	}
+}

@@ -56,6 +56,12 @@ type Cleaner struct {
 	BatchSize int
 
 	observerAttached bool
+
+	// engineCfg, when set by WithEngineConfig, makes NewCleaner build the
+	// context itself; ownsCtx records that Close must shut it down (on the
+	// networked backend that terminates the spawned worker processes).
+	engineCfg *engine.Config
+	ownsCtx   bool
 }
 
 // Option configures a Cleaner built with NewCleaner.
@@ -107,6 +113,18 @@ func WithObserver(o engine.Observer) Option {
 	return func(c *Cleaner) { c.Observer = o }
 }
 
+// WithEngineConfig makes the Cleaner build and own its dataflow context
+// from cfg — the convenient way to run a cleanse on the networked backend
+// (cfg.Backend = engine.BackendNet) without constructing a context by hand.
+// Pass a nil context to NewCleaner when using it; combining it with a
+// caller-supplied context is rejected at construction. Because the Cleaner
+// owns the context, Close (on the Cleaner, or on a Session opened from it)
+// shuts the backend down — on the networked backend that terminates the
+// spawned worker processes.
+func WithEngineConfig(cfg engine.Config) Option {
+	return func(c *Cleaner) { c.engineCfg = &cfg }
+}
+
 // WithBatchSize runs vectorizable detection pipelines over column batches
 // of n rows — the engine's vectorized execution path. Zero keeps the
 // tuple-at-a-time path; negative values are rejected at construction.
@@ -127,10 +145,35 @@ func NewCleaner(ctx *engine.Context, rules []*core.Rule, opts ...Option) (*Clean
 	for _, o := range opts {
 		o(c)
 	}
+	if c.engineCfg != nil {
+		if c.Ctx != nil {
+			return nil, fmt.Errorf("cleanse: WithEngineConfig combined with a caller-supplied context (pass a nil context)")
+		}
+		built, err := engine.NewContext(*c.engineCfg)
+		if err != nil {
+			return nil, fmt.Errorf("cleanse: building engine context: %w", err)
+		}
+		c.Ctx = built
+		c.ownsCtx = true
+	}
 	if err := c.validate(); err != nil {
+		if c.ownsCtx {
+			c.Ctx.Close()
+		}
 		return nil, err
 	}
 	return c, nil
+}
+
+// Close releases the engine context when the Cleaner owns it (built via
+// WithEngineConfig); on the networked backend that terminates the spawned
+// worker processes. It is idempotent and a no-op for caller-supplied
+// contexts — those stay the caller's to close.
+func (c *Cleaner) Close() error {
+	if !c.ownsCtx || c.Ctx == nil {
+		return nil
+	}
+	return c.Ctx.Close()
 }
 
 // validate checks a configuration for the nonsensical states that used to

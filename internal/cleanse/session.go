@@ -388,7 +388,11 @@ func (s *Session) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.closed = true
-	return nil
+	// A session opened from a context-owning Cleaner (WithEngineConfig)
+	// carries the ownership in its frozen config copy: closing the session
+	// shuts the backend down, which on the networked backend terminates the
+	// spawned worker processes.
+	return s.cfg.Close()
 }
 
 // Relation returns a deep copy of the session's current (repaired-so-far)

@@ -17,6 +17,27 @@ func Cartesian[A, B any](da *Dataset[A], db *Dataset[B]) *Dataset[JoinRow[A, B]]
 	if err != nil {
 		return errDataset[JoinRow[A, B]](ctx, err)
 	}
+	// Networked regime: the right side is broadcast to the workers owning
+	// the left partitions and the pair expansion runs worker-local over
+	// the opaque encodings (the cross product is pure concatenation, so
+	// the workers need no codecs). The result is materialized; contents
+	// and per-partition order match the lazy in-process expansion.
+	if ctx.exchange != nil {
+		if ac, ok := codecFor[A](); ok {
+			if bc, ok := codecFor[B](); ok {
+				left, ferr := da.forced()
+				if ferr != nil {
+					return errDataset[JoinRow[A, B]](ctx, ferr)
+				}
+				ctx.obs.Count(MetricRecordsShuffled, int64(len(right))*int64(len(left)))
+				out, nerr := netCartesian(ctx, left, right, ac, bc)
+				if nerr != nil {
+					return errDataset[JoinRow[A, B]](ctx, nerr)
+				}
+				return fromParts(ctx, out)
+			}
+		}
+	}
 	ctx.obs.Count(MetricRecordsShuffled, int64(len(right))*int64(da.NumPartitions()))
 	return FlatMap(da, func(a A) []JoinRow[A, B] {
 		out := make([]JoinRow[A, B], len(right))

@@ -72,6 +72,14 @@ type Stats struct {
 	mergePasses  atomic.Int64
 	peakReserved atomic.Int64
 
+	// Networked-backend counters, fed by the multi-process exchange.
+	netBytesSent atomic.Int64
+	netBytesRecv atomic.Int64
+	netDials     atomic.Int64
+	netRetries   atomic.Int64
+	netStraggler atomic.Int64
+	netRecovered atomic.Int64
+
 	mu       sync.Mutex
 	perStage []StageStat
 	stageIdx map[string]int
@@ -107,6 +115,16 @@ type Snapshot struct {
 	MergePasses       int64
 	PeakReservedBytes int64
 
+	// Networked-backend activity: socket traffic of the multi-process
+	// exchange, TCP dials, RPC retries, straggler re-dispatches, and
+	// worker-death recoveries. All zero on the in-process backends.
+	NetBytesSent  int64
+	NetBytesRecv  int64
+	NetDials      int64
+	NetRetries    int64
+	NetStragglers int64
+	NetRecoveries int64
+
 	PerStage []StageStat
 }
 
@@ -125,6 +143,12 @@ func (s *Stats) Snapshot() Snapshot {
 		SpillRuns:         s.spillRuns.Load(),
 		MergePasses:       s.mergePasses.Load(),
 		PeakReservedBytes: s.peakReserved.Load(),
+		NetBytesSent:      s.netBytesSent.Load(),
+		NetBytesRecv:      s.netBytesRecv.Load(),
+		NetDials:          s.netDials.Load(),
+		NetRetries:        s.netRetries.Load(),
+		NetStragglers:     s.netStraggler.Load(),
+		NetRecoveries:     s.netRecovered.Load(),
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -143,6 +167,10 @@ func (sn Snapshot) String() string {
 	if sn.BytesSpilled > 0 || sn.PeakReservedBytes > 0 {
 		fmt.Fprintf(&b, "spill: %d bytes in %d runs, %d merge passes, peak reserved: %d bytes\n",
 			sn.BytesSpilled, sn.SpillRuns, sn.MergePasses, sn.PeakReservedBytes)
+	}
+	if sn.NetBytesSent > 0 || sn.NetBytesRecv > 0 || sn.NetDials > 0 {
+		fmt.Fprintf(&b, "net: %d bytes sent, %d bytes received, %d dials, %d retries, %d straggler re-dispatches, %d recoveries\n",
+			sn.NetBytesSent, sn.NetBytesRecv, sn.NetDials, sn.NetRetries, sn.NetStragglers, sn.NetRecoveries)
 	}
 	if len(sn.PerStage) == 0 {
 		return b.String()
@@ -240,6 +268,18 @@ func (s *Stats) Count(m Metric, v int64) {
 				return
 			}
 		}
+	case MetricNetBytesSent:
+		s.netBytesSent.Add(v)
+	case MetricNetBytesRecv:
+		s.netBytesRecv.Add(v)
+	case MetricNetDials:
+		s.netDials.Add(v)
+	case MetricNetRetries:
+		s.netRetries.Add(v)
+	case MetricNetStragglers:
+		s.netStraggler.Add(v)
+	case MetricNetRecoveries:
+		s.netRecovered.Add(v)
 	}
 }
 
@@ -290,6 +330,12 @@ func (s *Stats) Reset() {
 	s.spillRuns.Store(0)
 	s.mergePasses.Store(0)
 	s.peakReserved.Store(0)
+	s.netBytesSent.Store(0)
+	s.netBytesRecv.Store(0)
+	s.netDials.Store(0)
+	s.netRetries.Store(0)
+	s.netStraggler.Store(0)
+	s.netRecovered.Store(0)
 	s.mu.Lock()
 	s.perStage = nil
 	s.stageIdx = nil
@@ -343,6 +389,12 @@ type Context struct {
 	// spillDir is the base directory operators create their run
 	// directories under; only set when mem is non-nil.
 	spillDir string
+
+	// exchange, when non-nil, is the networked multi-process backend: the
+	// wide operators route their encoded bytes through it instead of
+	// moving slices between goroutines. It takes precedence over the spill
+	// regime for the scatter-style operators it covers.
+	exchange Exchange
 }
 
 // Config configures a Context beyond plain parallelism.
@@ -376,6 +428,28 @@ type Config struct {
 	// tuple-at-a-time path. The engine itself is agnostic — batch and
 	// tuple datasets use the same operators.
 	BatchSize int
+
+	// Backend selects the execution backend. BackendLocal (the zero value)
+	// is the in-process worker pool; BackendNet runs partition exchanges
+	// across separate OS worker processes over TCP (requires the netexec
+	// package to be linked in, and NewContext instead of NewWithConfig so
+	// spawn failures surface as errors).
+	Backend BackendKind
+	// NetWorkers is the number of worker processes the net backend spawns
+	// (<=0: 2). Ignored by BackendLocal.
+	NetWorkers int
+	// NetListenAddr is the host (or host:0) the spawned workers bind their
+	// listeners to; empty means 127.0.0.1 (loopback scale-out).
+	NetListenAddr string
+	// NetWorkerAddrs, when non-empty, joins pre-started workers
+	// (`bigdansing worker -addr ...`) at these addresses instead of
+	// spawning local processes; NetWorkers is then ignored.
+	NetWorkerAddrs []string
+	// Exchange, when non-nil, installs this pre-built exchange directly,
+	// bypassing the Backend factory. The context takes ownership (Close
+	// closes it). The fault-injection harness uses it to run plans over a
+	// coordinator with chaos hooks armed.
+	Exchange Exchange
 }
 
 // New creates a Context with the given parallelism (number of workers) and
@@ -384,8 +458,24 @@ func New(parallelism int) *Context {
 	return NewWithConfig(Config{Parallelism: parallelism})
 }
 
-// NewWithConfig creates a Context from a full configuration.
+// NewWithConfig creates a Context from a full configuration. It panics when
+// the configuration selects a non-local backend — backend construction can
+// fail (worker spawn, dial), so those callers must use NewContext and handle
+// the error.
 func NewWithConfig(cfg Config) *Context {
+	ctx, err := NewContext(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("engine: NewWithConfig: %v (use NewContext for non-local backends)", err))
+	}
+	return ctx
+}
+
+// NewContext creates a Context from a full configuration, constructing the
+// configured backend. For BackendNet the exchange factory registered by the
+// netexec package spawns (or joins) the worker processes; the error reports
+// spawn and dial failures. Call Close on the returned context to shut the
+// workers down.
+func NewContext(cfg Config) (*Context, error) {
 	p := cfg.Parallelism
 	if p <= 0 {
 		p = runtime.GOMAXPROCS(0)
@@ -406,7 +496,32 @@ func NewWithConfig(cfg Config) *Context {
 			c.spillDir = os.TempDir()
 		}
 	}
-	return c
+	if cfg.Exchange != nil {
+		c.exchange = cfg.Exchange
+	} else if cfg.Backend != BackendLocal {
+		x, err := newExchange(cfg, c.obs)
+		if err != nil {
+			return nil, err
+		}
+		c.exchange = x
+	}
+	return c, nil
+}
+
+// Exchange returns the networked exchange backing this context, or nil on
+// the in-process backends.
+func (c *Context) Exchange() Exchange { return c.exchange }
+
+// Close shuts down the context's backend: on BackendNet it closes every
+// worker connection and terminates the spawned worker processes. It is
+// idempotent and a no-op for in-process contexts.
+func (c *Context) Close() error {
+	x := c.exchange
+	if x == nil {
+		return nil
+	}
+	c.exchange = nil
+	return x.Close()
 }
 
 // Parallelism returns the number of workers.

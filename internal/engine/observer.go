@@ -43,6 +43,9 @@ const (
 	SpanRepair
 	// SpanRound is one detect-repair iteration of the cleansing loop.
 	SpanRound
+	// SpanNet is one networked-exchange operation of the multi-process
+	// backend (a distributed shuffle, cartesian or recovery action).
+	SpanNet
 )
 
 // String names the kind for exporters (Chrome trace categories).
@@ -62,6 +65,8 @@ func (k SpanKind) String() string {
 		return "repair"
 	case SpanRound:
 		return "round"
+	case SpanNet:
+		return "net"
 	default:
 		return "span"
 	}
@@ -105,6 +110,15 @@ const (
 	AttrSplitComponents
 	AttrConflicts
 	AttrAssignments
+	// AttrNetBytesSent / AttrNetBytesRecv bracket the socket traffic of a
+	// networked-exchange span; AttrNetRetries counts its RPC retries,
+	// AttrNetRedispatches its straggler re-dispatches and AttrNetRecoveries
+	// the worker deaths it recovered from.
+	AttrNetBytesSent
+	AttrNetBytesRecv
+	AttrNetRetries
+	AttrNetRedispatches
+	AttrNetRecoveries
 
 	// NumAttrs bounds the enum; implementations may use it to size arrays.
 	NumAttrs
@@ -151,6 +165,16 @@ func (a Attr) String() string {
 		return "conflicts"
 	case AttrAssignments:
 		return "assignments"
+	case AttrNetBytesSent:
+		return "net_bytes_sent"
+	case AttrNetBytesRecv:
+		return "net_bytes_recv"
+	case AttrNetRetries:
+		return "net_retries"
+	case AttrNetRedispatches:
+		return "net_redispatches"
+	case AttrNetRecoveries:
+		return "net_recoveries"
 	default:
 		return "attr"
 	}
@@ -169,6 +193,15 @@ const (
 	MetricMergePasses
 	// MetricPeakReservedBytes folds with max, not sum.
 	MetricPeakReservedBytes
+	// Networked-backend counters: socket bytes in each direction, TCP
+	// dials, RPC retries after timeouts/failures, straggler re-dispatches,
+	// and worker-death recoveries (re-placement from coordinator lineage).
+	MetricNetBytesSent
+	MetricNetBytesRecv
+	MetricNetDials
+	MetricNetRetries
+	MetricNetStragglers
+	MetricNetRecoveries
 
 	// NumMetrics bounds the enum.
 	NumMetrics
@@ -189,6 +222,18 @@ func (m Metric) String() string {
 		return "merge_passes"
 	case MetricPeakReservedBytes:
 		return "peak_reserved_bytes"
+	case MetricNetBytesSent:
+		return "net_bytes_sent"
+	case MetricNetBytesRecv:
+		return "net_bytes_recv"
+	case MetricNetDials:
+		return "net_dials"
+	case MetricNetRetries:
+		return "net_retries"
+	case MetricNetStragglers:
+		return "net_stragglers"
+	case MetricNetRecoveries:
+		return "net_recoveries"
 	default:
 		return "metric"
 	}

@@ -62,6 +62,19 @@ func shuffleByKey[K comparable, V any](d *Dataset[Pair[K, V]], n int) ([][]Pair[
 	if err != nil {
 		return nil, err
 	}
+	// Networked regime: the codec-encoded records cross process boundaries
+	// through the exchange; destinations are computed coordinator-side
+	// (the key hash), so workers never need type knowledge. Takes
+	// precedence over the spill regime — the workers are where the memory
+	// lives on that backend.
+	if d.ctx.exchange != nil {
+		if kc, ok := codecFor[K](); ok {
+			if vc, ok := codecFor[V](); ok {
+				return netScatter(d.ctx, "shuffle", parts, n, pairCodec(kc, vc),
+					func(p Pair[K, V]) int { return int(hashKey(p.Key) % uint64(n)) })
+			}
+		}
+	}
 	if d.ctx.mem != nil {
 		if kc, ok := codecFor[K](); ok {
 			if vc, ok := codecFor[V](); ok {
@@ -129,8 +142,11 @@ func GroupByKey[K comparable, V any](d *Dataset[Pair[K, V]]) *Dataset[Pair[K, []
 	// Out-of-core regime: sort-spill-merge instead of buckets plus a per-key
 	// map. Group iteration order differs from the in-memory path (merge
 	// order instead of first-seen order); within-group value order is
-	// identical.
-	if d.ctx.mem != nil {
+	// identical. The networked backend skips it — its shuffle already
+	// bounds coordinator memory at one destination partition per task, and
+	// grouping over the net-gathered buckets below matches the in-memory
+	// path exactly.
+	if d.ctx.mem != nil && d.ctx.exchange == nil {
 		if kc, ok := codecFor[K](); ok {
 			if vc, ok := codecFor[V](); ok {
 				return groupByKeyExternal(d, kc, vc)
@@ -175,8 +191,9 @@ func GroupByKey[K comparable, V any](d *Dataset[Pair[K, V]]) *Dataset[Pair[K, []
 // input's pending narrow chain.
 func ReduceByKey[K comparable, V any](d *Dataset[Pair[K, V]], combine func(a, b V) V) *Dataset[Pair[K, V]] {
 	// Out-of-core regime: stream the merged runs through the combiner
-	// directly, never materializing groups.
-	if d.ctx.mem != nil {
+	// directly, never materializing groups. Skipped on the networked
+	// backend (see GroupByKey).
+	if d.ctx.mem != nil && d.ctx.exchange == nil {
 		if kc, ok := codecFor[K](); ok {
 			if vc, ok := codecFor[V](); ok {
 				return reduceByKeyExternal(d, combine, kc, vc)

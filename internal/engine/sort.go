@@ -15,7 +15,10 @@ func SortBy[T any](d *Dataset[T], less func(a, b T) bool, n int) *Dataset[T] {
 	if n <= 0 {
 		n = d.ctx.parallelism
 	}
-	if d.ctx.mem != nil {
+	// The external merge sort is an in-process algorithm; on the networked
+	// backend the range scatter below moves the data through the workers
+	// and the local sorts stay coordinator-side.
+	if d.ctx.mem != nil && d.ctx.exchange == nil {
 		if c, ok := codecFor[T](); ok {
 			return sortByExternal(d, less, n, c)
 		}
@@ -60,7 +63,21 @@ func RangePartitionBy[T any](d *Dataset[T], less func(a, b T) bool, n int) *Data
 	bounds := sampleBounds(dparts, total, n, less)
 	target := boundsTarget(bounds, less)
 
-	if d.ctx.mem != nil {
+	// Networked regime: the range scatter moves its encoded records
+	// through the worker processes, preserving (source, record) order per
+	// destination like the in-memory path.
+	if d.ctx.exchange != nil {
+		if c, ok := codecFor[T](); ok {
+			out, serr := netScatter(d.ctx, "rangePartition", dparts, n, c,
+				func(v T) int { return target(v) })
+			if serr != nil {
+				return errDataset[T](d.ctx, serr)
+			}
+			return fromParts(d.ctx, out)
+		}
+	}
+
+	if d.ctx.mem != nil && d.ctx.exchange == nil {
 		if c, ok := codecFor[T](); ok {
 			out, serr := scatterSpill(d.ctx, "rangePartition", dparts, n, target, c, nil)
 			if serr != nil {

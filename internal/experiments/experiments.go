@@ -229,6 +229,7 @@ func All() []Experiment {
 		{"ext-incremental", "Extension: incremental vs full re-detection in the cleansing loop", ExtIncremental},
 		{"ext-consolidation", "Extension: consolidated multi-rule plans vs per-rule plans", ExtConsolidation},
 		{"ext-combiner", "Extension: MR combiner effect on distributed equivalence class spill", ExtCombiner},
+		{"ext-net", "Extension: Fig. 10 rerun across real worker processes (net backend)", ExtNet},
 	}
 }
 

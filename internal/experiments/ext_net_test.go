@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"bigdansing/internal/netexec"
+)
+
+// TestMain lets the test binary double as a netexec worker so ext-net can
+// spawn real worker processes. Importing netexec also registers the net
+// backend factory with the engine.
+func TestMain(m *testing.M) {
+	netexec.MaybeWorker()
+	os.Exit(m.Run())
+}
+
+// TestExtNetShape runs the scale-out rerun at a small scale and checks each
+// worker count produced a measurement and moved real bytes over the wire.
+func TestExtNetShape(t *testing.T) {
+	cfg := Config{Workers: 4, Seed: 1, Scale: 0.05}
+	tables, err := ExtNet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	if len(tab.Series) != 3 {
+		t.Fatalf("want 3 series, got %d", len(tab.Series))
+	}
+	for _, s := range tab.Series {
+		if len(s.Points) != 3 {
+			t.Fatalf("series %s: want points for 1/2/4 workers, got %d", s.Name, len(s.Points))
+		}
+	}
+	for i, p := range tab.Series[2].Points {
+		if p.Value <= 0 {
+			t.Errorf("worker count %v: no bytes crossed the wire", tab.Series[2].Points[i].X)
+		}
+	}
+}

@@ -148,6 +148,56 @@ func ExtCombiner(cfg Config) ([]*Table, error) {
 	return []*Table{t}, nil
 }
 
+// ExtNet reruns the Figure 10 scale-out shape on the networked backend: the
+// same TaxA φ1 detection across 1, 2 and 4 real worker OS processes (spawned
+// over loopback TCP), with the in-process backend as the baseline and the
+// measured wire volume as a third series. The caller's binary must be able
+// to act as a worker (cmd/bench and the test binaries call
+// netexec.MaybeWorker at startup).
+func ExtNet(cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{ID: "ext-net", Title: "Fig. 10 rerun: detection across real worker processes (TaxA phi1)",
+		XLabel: "worker processes", YLabel: "seconds",
+		Series: []Series{{Name: "net"}, {Name: "in-process"}, {Name: "net-wire-MB"}}}
+	rule := mustRule(phi1())
+	rel := datagen.TaxA(cfg.rows(40000), 0.1, cfg.Seed).Dirty
+
+	base, err := timeIt(func() error {
+		_, err := core.DetectRules(engine.New(cfg.Workers), []*core.Rule{rule}, rel)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range []int{1, 2, 4} {
+		ctx, err := engine.NewContext(engine.Config{
+			Parallelism: cfg.Workers,
+			Backend:     engine.BackendNet,
+			NetWorkers:  w,
+		})
+		if err != nil {
+			return nil, err
+		}
+		secs, err := timeIt(func() error {
+			_, err := core.DetectRules(ctx, []*core.Rule{rule}, rel)
+			return err
+		})
+		snap := ctx.Stats().Snapshot()
+		ctx.Close()
+		if err != nil {
+			return nil, err
+		}
+		t.Series[0].Points = append(t.Series[0].Points, Point{X: float64(w), Value: secs})
+		t.Series[1].Points = append(t.Series[1].Points, Point{X: float64(w), Value: base})
+		t.Series[2].Points = append(t.Series[2].Points,
+			Point{X: float64(w), Value: float64(snap.NetBytesSent+snap.NetBytesRecv) / (1 << 20)})
+	}
+	t.Notes = append(t.Notes,
+		"extension: partitions really cross process boundaries -- frames over loopback TCP, CRC-checked, credit-windowed",
+		"expect net slower than in-process at this scale: the wire cost is real and the point is the trend across workers")
+	return []*Table{t}, nil
+}
+
 // wordCountSpill replays job 1's record volume without a combiner: one
 // record per element reaches the spill files.
 func wordCountSpill(eng *mapred.Engine, fs []model.FixSet, workers int) (float64, error) {

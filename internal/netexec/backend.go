@@ -1,0 +1,18 @@
+package netexec
+
+import (
+	"bigdansing/internal/engine"
+)
+
+// Importing netexec is what makes engine.BackendNet constructible: the init
+// hook registers the Coordinator as the exchange factory for that backend
+// kind, mapping the engine-level knobs onto the coordinator's Config.
+func init() {
+	engine.RegisterExchange(engine.BackendNet, func(cfg engine.Config, obs engine.Observer) (engine.Exchange, error) {
+		return New(Config{
+			Workers:     cfg.NetWorkers,
+			ListenHost:  cfg.NetListenAddr,
+			WorkerAddrs: cfg.NetWorkerAddrs,
+		}, obs)
+	})
+}

@@ -1,0 +1,141 @@
+// Package chaostest is the fault-injection harness for the networked
+// backend. A Schedule is a deterministic fault plan derived from a seed: it
+// names one fault kind (drop a connection after k frames, kill a worker
+// after k frames, delay a worker's responses), one target slot and the
+// fault's parameters. Applying a schedule arms the coordinator's and
+// workers' chaos hooks; the test suite then runs a real plan through the
+// faulted deployment and requires (a) output identical to the in-process
+// backend and (b) the matching robustness counter to have fired — proving
+// the retry, recovery and straggler paths do real work rather than
+// decorating the happy path.
+package chaostest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"strconv"
+	"sync/atomic"
+
+	"bigdansing/internal/netexec"
+)
+
+// Kind names a fault class.
+type Kind string
+
+const (
+	// KindDropConn closes coordinator->worker connections mid-RPC after a
+	// chosen number of frames; exercises the retry + redial path.
+	KindDropConn Kind = "drop-conn"
+	// KindKillWorker makes the target worker process exit after receiving
+	// a chosen number of frames — death mid-shuffle; exercises respawn and
+	// lineage re-placement.
+	KindKillWorker Kind = "kill-worker"
+	// KindDelayWorker makes the target worker sleep before every response;
+	// exercises straggler detection and backup re-dispatch.
+	KindDelayWorker Kind = "delay-worker"
+)
+
+// Schedule is one deterministic fault plan.
+type Schedule struct {
+	Seed       int64
+	Kind       Kind
+	Slot       int // target worker slot
+	FaultConns int // drop-conn: how many dials to the slot get the fault
+	Frames     int // drop-conn / kill-worker: frames before the fault fires
+	DelayMS    int // delay-worker: per-response sleep
+}
+
+// NewSchedule derives the fault plan of a seed for a deployment of the
+// given worker count. Same seed, same schedule — the suite's 50 seeds are
+// 50 reproducible fault scenarios.
+func NewSchedule(seed int64, workers int) Schedule {
+	r := rand.New(rand.NewSource(seed))
+	s := Schedule{Seed: seed, Slot: r.Intn(workers)}
+	switch r.Intn(3) {
+	case 0:
+		s.Kind = KindDropConn
+		s.FaultConns = 1 + r.Intn(2)
+		s.Frames = 1 + r.Intn(6)
+	case 1:
+		// The chaos pipeline feeds each worker a couple dozen frames; keep
+		// the threshold low enough that the death always lands mid-work.
+		s.Kind = KindKillWorker
+		s.Frames = 2 + r.Intn(8)
+	default:
+		s.Kind = KindDelayWorker
+		s.DelayMS = 200 + r.Intn(150)
+	}
+	return s
+}
+
+func (s Schedule) String() string {
+	return fmt.Sprintf("seed=%d %s slot=%d conns=%d frames=%d delay=%dms",
+		s.Seed, s.Kind, s.Slot, s.FaultConns, s.Frames, s.DelayMS)
+}
+
+// Apply arms cfg with the schedule's fault hooks. Mutates WrapConn and
+// SlotEnv only; timeouts and straggler knobs stay the caller's business.
+func (s Schedule) Apply(cfg *netexec.Config) {
+	switch s.Kind {
+	case KindDropConn:
+		var faulted atomic.Int32
+		frames, conns, slot := s.Frames, int32(s.FaultConns), s.Slot
+		cfg.WrapConn = func(conn net.Conn, slotID int) net.Conn {
+			if slotID != slot || faulted.Add(1) > conns {
+				return conn
+			}
+			d := &dropConn{Conn: conn}
+			d.remaining.Store(int32(frames))
+			return d
+		}
+	case KindKillWorker:
+		cfg.SlotEnv = func(slotID int) []string {
+			if slotID != s.Slot {
+				return nil
+			}
+			return []string{netexec.ChaosDieEnv + "=" + strconv.Itoa(s.Frames)}
+		}
+	case KindDelayWorker:
+		cfg.SlotEnv = func(slotID int) []string {
+			if slotID != s.Slot {
+				return nil
+			}
+			return []string{netexec.ChaosDelayEnv + "=" + strconv.Itoa(s.DelayMS)}
+		}
+	}
+}
+
+// Fired reports whether the schedule's fault class left its expected trace
+// in the robustness counters.
+func (s Schedule) Fired(c netexec.Counters) bool {
+	switch s.Kind {
+	case KindDropConn:
+		return c.Retries > 0
+	case KindKillWorker:
+		return c.Recoveries > 0
+	case KindDelayWorker:
+		return c.Stragglers > 0
+	}
+	return false
+}
+
+// dropConn passes writes through until its frame budget is spent, then
+// closes the connection and fails — a deterministic mid-RPC connection
+// drop. The coordinator writes each frame with a single Write call, so the
+// budget counts whole frames.
+type dropConn struct {
+	net.Conn
+	remaining atomic.Int32
+}
+
+var errInjectedDrop = errors.New("chaostest: injected connection drop")
+
+func (d *dropConn) Write(b []byte) (int, error) {
+	if d.remaining.Add(-1) < 0 {
+		d.Conn.Close()
+		return 0, errInjectedDrop
+	}
+	return d.Conn.Write(b)
+}

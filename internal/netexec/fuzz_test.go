@@ -1,0 +1,102 @@
+package netexec
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReadFrame feeds arbitrary bytes into the frame reader. The contract
+// under fuzz: corrupt headers, truncated frames and bad checksums must
+// return errors — never panic, never over-allocate (the length bound), and
+// an accepted frame must survive re-encoding byte for byte.
+func FuzzReadFrame(f *testing.F) {
+	f.Add(appendFrame(nil, frame{Type: msgHello}))
+	f.Add(appendFrame(nil, frame{Type: msgPut, Flags: flagBegin | flagEnd, Xfer: 9, A: 2, B: 4,
+		Payload: appendRecord(nil, []byte("rec"))}))
+	f.Add(appendFrame(nil, frame{Type: msgOK, B: 3, Payload: []byte{1, 2, 3}}))
+	f.Add([]byte("garbage that is not a frame at all"))
+	f.Add([]byte{0xBD, 0x5A})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		fr, _, err := readFrame(r, nil)
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		consumed := len(data) - r.Len()
+		re := appendFrame(nil, fr)
+		if !bytes.Equal(re, data[:consumed]) {
+			t.Fatalf("accepted frame does not re-encode to its input")
+		}
+	})
+}
+
+// FuzzFrameRoundTrip builds a frame from fuzzed fields and requires an
+// exact decode of what was encoded.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(uint8(1), uint8(0), uint32(0), uint32(0), uint32(0), []byte(nil))
+	f.Add(uint8(2), uint8(3), uint32(77), uint32(5), uint32(6), []byte("payload"))
+	f.Add(uint8(11), uint8(255), uint32(1<<31), uint32(1<<20), uint32(9), bytes.Repeat([]byte{0}, 300))
+
+	f.Fuzz(func(t *testing.T, ty, flags uint8, xfer, a, b uint32, payload []byte) {
+		mt := msgType(ty%uint8(msgStats)) + 1 // keep the type in the valid range
+		want := frame{Type: mt, Flags: flags, Xfer: xfer, A: a, B: b, Payload: payload}
+		buf := appendFrame(nil, want)
+		got, _, err := readFrame(bytes.NewReader(buf), nil)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if got.Type != want.Type || got.Flags != want.Flags || got.Xfer != want.Xfer ||
+			got.A != want.A || got.B != want.B || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatal("round trip mismatch")
+		}
+		if _, _, err := readFrame(bytes.NewReader(buf[:len(buf)-1]), nil); err == nil && len(payload) > 0 {
+			t.Fatal("truncated frame accepted")
+		}
+	})
+}
+
+// FuzzSplitRecords drives the record packer's parse side: arbitrary
+// payloads must parse or error (no panics, no overruns), and a successful
+// parse must re-pack to the identical payload.
+func FuzzSplitRecords(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add(appendRecord(appendRecord(nil, []byte("a")), []byte("bc")))
+	f.Add(appendRecord(nil, bytes.Repeat([]byte{9}, 100)))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		recs, err := splitRecords(payload, true)
+		if err != nil {
+			return
+		}
+		var re []byte
+		for _, r := range recs {
+			re = appendRecord(re, r)
+		}
+		if !bytes.Equal(re, payload) {
+			t.Fatal("records do not re-pack to the input payload")
+		}
+	})
+}
+
+// TestFrameReaderNeverBlocksOnShortInput complements the fuzzers with an
+// exhaustive prefix sweep over one real frame (cheap enough to run always).
+func TestFrameReaderNeverBlocksOnShortInput(t *testing.T) {
+	full := appendFrame(nil, frame{Type: msgData, Xfer: 3, A: 1, B: 2,
+		Payload: appendRecord(nil, bytes.Repeat([]byte{5}, 64))})
+	for cut := 0; cut <= len(full); cut++ {
+		fr, _, err := readFrame(bytes.NewReader(full[:cut]), nil)
+		if cut < len(full) {
+			if err == nil {
+				t.Fatalf("prefix %d accepted", cut)
+			}
+			if cut == 0 && err != io.EOF {
+				t.Fatalf("empty input should be clean EOF, got %v", err)
+			}
+		} else if err != nil || !bytes.Equal(fr.Payload, full[headerSize:]) {
+			t.Fatalf("full frame rejected: %v", err)
+		}
+	}
+}

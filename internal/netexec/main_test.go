@@ -1,0 +1,14 @@
+package netexec
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMain routes re-executions of this test binary into WorkerMain: the
+// coordinator spawns its workers by running its own executable with the
+// worker env hook set, so the hook must be checked before any test runs.
+func TestMain(m *testing.M) {
+	MaybeWorker()
+	os.Exit(m.Run())
+}

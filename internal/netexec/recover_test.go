@@ -1,0 +1,158 @@
+package netexec
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"bigdansing/internal/engine"
+)
+
+// TestWorkerDeathRecovery kills a worker between exchanges and requires the
+// next exchange to succeed by respawning the slot and re-placing its
+// partitions from the coordinator's lineage.
+func TestWorkerDeathRecovery(t *testing.T) {
+	ctx := newNetCtx(t, 2)
+	coord := ctx.Exchange().(*Coordinator)
+
+	words := make([]engine.Pair[string, int], 400)
+	for i := range words {
+		words[i] = engine.KV(fmt.Sprintf("w%02d", i%37), 1)
+	}
+	sum := func(a, b int) int { return a + b }
+	want, err := engine.ReduceByKey(engine.Parallelize(ctx, words, 6), sum).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := coord.KillWorker(0); err != nil {
+		t.Fatal(err)
+	}
+	// Give the exit watcher a moment to observe the death; recovery must
+	// work either way (a dead-but-unnoticed worker surfaces as an RPC error
+	// that the retry path turns into a respawn).
+	time.Sleep(50 * time.Millisecond)
+
+	got, err := engine.ReduceByKey(engine.Parallelize(ctx, words, 6), sum).Collect()
+	if err != nil {
+		t.Fatalf("exchange after worker death: %v", err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("post-recovery output differs")
+	}
+	if c := coord.Counters(); c.Recoveries == 0 {
+		t.Errorf("expected a recorded recovery, counters = %+v", c)
+	}
+	if ctx.Stats().Snapshot().NetRecoveries == 0 {
+		t.Error("recovery not visible in engine stats")
+	}
+}
+
+// trapVal is a test type whose codec panics while decoding a marked value —
+// the way to drive an operator panic into the middle of a networked
+// exchange (the decode stage runs after the bytes came back from the
+// workers).
+type trapVal struct{ v int }
+
+func init() {
+	engine.RegisterCodec(engine.Codec[trapVal]{
+		Append: func(buf []byte, t trapVal) []byte { return append(buf, byte(t.v)) },
+		Decode: func(buf []byte) (trapVal, int, error) {
+			if len(buf) == 0 {
+				return trapVal{}, 0, fmt.Errorf("empty")
+			}
+			if buf[0] == 13 {
+				panic("trapVal: decoding the cursed value")
+			}
+			return trapVal{v: int(buf[0])}, 1, nil
+		},
+	})
+}
+
+// TestPanicHygieneOnNetBackend: a panic inside a stage of a networked
+// exchange must surface as an error (not a crash), the workers' stores must
+// come back empty (the transfer is dropped on the error path, so no
+// sockets or buffers leak), and the same context must remain usable.
+func TestPanicHygieneOnNetBackend(t *testing.T) {
+	ctx := newNetCtx(t, 2)
+	coord := ctx.Exchange().(*Coordinator)
+
+	data := []engine.Pair[int, trapVal]{
+		engine.KV(1, trapVal{v: 1}),
+		engine.KV(2, trapVal{v: 13}), // decode panics on this one
+		engine.KV(3, trapVal{v: 3}),
+	}
+	_, err := engine.GroupByKey(engine.Parallelize(ctx, data, 2)).Collect()
+	if err == nil {
+		t.Fatal("expected the decode panic to surface as an error")
+	}
+	if !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("error should attribute the panic, got: %v", err)
+	}
+
+	// The aborted transfer must not linger on any worker.
+	for id := 0; id < coord.Workers(); id++ {
+		xfers, recs, serr := coord.WorkerStats(id)
+		if serr != nil {
+			t.Fatalf("worker %d stats after abort: %v", id, serr)
+		}
+		if xfers != 0 || recs != 0 {
+			t.Errorf("worker %d retains %d transfers / %d records after aborted exchange", id, xfers, recs)
+		}
+	}
+
+	// The context (and its sockets) must still work.
+	clean := []engine.Pair[int, trapVal]{engine.KV(1, trapVal{v: 1}), engine.KV(1, trapVal{v: 2})}
+	got, err := engine.GroupByKey(engine.Parallelize(ctx, clean, 2)).Collect()
+	if err != nil {
+		t.Fatalf("exchange after aborted exchange: %v", err)
+	}
+	if len(got) != 1 || len(got[0].Value) != 2 {
+		t.Fatalf("unexpected post-abort result: %+v", got)
+	}
+}
+
+// TestExchangeCleansUpAfterSuccess: successful exchanges must also drop
+// their transfers — the worker store is per-exchange scratch space, not a
+// cache.
+func TestExchangeCleansUpAfterSuccess(t *testing.T) {
+	ctx := newNetCtx(t, 2)
+	coord := ctx.Exchange().(*Coordinator)
+	_, err := engine.GroupByKey(engine.Parallelize(ctx, genPairs(9, 200), 4)).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < coord.Workers(); id++ {
+		xfers, recs, serr := coord.WorkerStats(id)
+		if serr != nil {
+			t.Fatal(serr)
+		}
+		if xfers != 0 || recs != 0 {
+			t.Errorf("worker %d retains %d transfers / %d records after successful exchange", id, xfers, recs)
+		}
+	}
+}
+
+// TestCloseIsIdempotent double-closes a context and re-closes the
+// coordinator directly.
+func TestCloseIsIdempotent(t *testing.T) {
+	ctx, err := engine.NewContext(engine.Config{Parallelism: 2, Backend: engine.BackendNet, NetWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := ctx.Exchange().(*Coordinator)
+	if err := ctx.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.Shuffle("x", nil, 1); err == nil {
+		t.Error("shuffle on a closed coordinator should error")
+	}
+}

@@ -1,0 +1,87 @@
+package netexec
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Partition placement uses consistent hashing over worker *slots*, not live
+// processes: slot i keeps its ring positions forever, and a worker respawned
+// to replace a dead one takes over its slot — so recovery re-places exactly
+// the partitions the dead worker owned and everything else stays put. Each
+// slot projects vnodesPerSlot virtual nodes onto the ring (FNV-64 of a
+// deterministic label) to smooth the distribution; a destination partition
+// hashes to a point and is owned by the first vnode clockwise. The layout
+// depends only on (slot count, partition id): every run of a given
+// configuration places partitions identically, which the cross-backend
+// equivalence and chaos tests rely on.
+const vnodesPerSlot = 64
+
+// ring maps destination partitions to worker slots.
+type ring struct {
+	points []ringPoint // sorted by hash
+	slots  int
+}
+
+type ringPoint struct {
+	hash uint64
+	slot int
+}
+
+func newRing(slots int) *ring {
+	r := &ring{slots: slots, points: make([]ringPoint, 0, slots*vnodesPerSlot)}
+	for s := 0; s < slots; s++ {
+		for v := 0; v < vnodesPerSlot; v++ {
+			r.points = append(r.points, ringPoint{hash: fnvHash(fmt.Sprintf("slot-%d-vnode-%d", s, v)), slot: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].slot < r.points[j].slot
+	})
+	return r
+}
+
+// owner returns the slot owning destination partition dst.
+func (r *ring) owner(dst int) int {
+	h := fnvHash(fmt.Sprintf("part-%d", dst))
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].slot
+}
+
+// candidates returns all slots ordered by ring distance from dst's point —
+// the preference order for placing dst's work. The owner is first; retries,
+// straggler backups and death recovery walk down the list.
+func (r *ring) candidates(dst int) []int {
+	h := fnvHash(fmt.Sprintf("part-%d", dst))
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]int, 0, r.slots)
+	seen := make(map[int]bool, r.slots)
+	for i := 0; i < len(r.points) && len(out) < r.slots; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.slot] {
+			seen[p.slot] = true
+			out = append(out, p.slot)
+		}
+	}
+	return out
+}
+
+// fnvHash hashes a ring label: FNV-64a finalized with the splitmix64 mixer.
+// Raw FNV of short sequential labels ("part-0", "part-1", ...) clusters in
+// the high bits — which is exactly what a ring ordered by full 64-bit value
+// keys on — so without the finalizer whole slots end up owning nothing.
+func fnvHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	z := h.Sum64()
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

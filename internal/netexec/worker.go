@@ -1,0 +1,289 @@
+package netexec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Env hooks. WorkerEnv makes any binary that calls MaybeWorker (the
+// bigdansing CLI's hidden `worker` subcommand does the equivalent
+// explicitly, and the test binaries call it from TestMain) act as a netexec
+// worker: it listens on the env value ("auto" for an ephemeral localhost
+// port), prints "NETEXEC_READY <addr>" on stdout so the spawner can learn
+// the port, and serves until stdin closes — the stdin pipe doubles as a
+// coordinator-death watchdog, so orphaned workers reap themselves.
+const (
+	WorkerEnv = "BIGDANSING_NETEXEC_WORKER"
+	// ChaosDelayEnv makes the worker sleep this many milliseconds before
+	// answering each fetch/exec — the chaos harness uses it (via
+	// Config.SlotEnv) to manufacture a deterministic straggler.
+	ChaosDelayEnv = "BIGDANSING_NETEXEC_CHAOS_DELAY_MS"
+	// ChaosDieEnv makes the worker exit(3) after receiving this many
+	// frames — the chaos harness uses it to kill a worker mid-shuffle.
+	ChaosDieEnv = "BIGDANSING_NETEXEC_CHAOS_DIE_AFTER"
+)
+
+// MaybeWorker turns the current process into a netexec worker when the
+// worker env hook is set, never returning in that case. Call it first thing
+// in main() or TestMain: the coordinator re-executes its own binary to
+// spawn workers, and this is the hook those child processes land in.
+func MaybeWorker() {
+	addr := os.Getenv(WorkerEnv)
+	if addr == "" {
+		return
+	}
+	if err := WorkerMain(addr, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "netexec worker:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// WorkerMain runs the worker server: listen, announce readiness on out,
+// and serve connections. Spawned workers (the env hook is set) also watch
+// stdin and exit on EOF — the coordinator holds the pipe, so its death
+// reaps them; standalone workers (`bigdansing worker`, often daemonized
+// with stdin on /dev/null) serve until killed. addr "auto" picks an
+// ephemeral localhost port.
+func WorkerMain(addr string, out io.Writer) error {
+	if addr == "auto" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("netexec worker: listen %s: %w", addr, err)
+	}
+	defer ln.Close()
+	fmt.Fprintf(out, "NETEXEC_READY %s\n", ln.Addr())
+
+	ws := newWorkerServer()
+	if os.Getenv(WorkerEnv) != "" {
+		go func() {
+			// Watchdog: the coordinator holds our stdin pipe open; EOF means
+			// it is gone (or told us to stop) and we must not linger.
+			io.Copy(io.Discard, os.Stdin)
+			ln.Close()
+			os.Exit(0)
+		}()
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return nil
+		}
+		go ws.serve(conn)
+	}
+}
+
+// workerServer holds one worker's partition store and chaos knobs.
+type workerServer struct {
+	mu sync.Mutex
+	// xfers[xfer][dst][src] is the record bucket of (transfer, destination
+	// partition, source partition). Fetch streams dst's buckets in
+	// ascending src order, preserving the engine's gather order.
+	xfers map[uint32]map[uint32]map[uint32][][]byte
+
+	frames     atomic.Int64 // received frames, for the die-after chaos knob
+	chaosDelay time.Duration
+	chaosDie   int64
+}
+
+func newWorkerServer() *workerServer {
+	ws := &workerServer{xfers: make(map[uint32]map[uint32]map[uint32][][]byte)}
+	if v := os.Getenv(ChaosDelayEnv); v != "" {
+		if ms, err := strconv.Atoi(v); err == nil {
+			ws.chaosDelay = time.Duration(ms) * time.Millisecond
+		}
+	}
+	if v := os.Getenv(ChaosDieEnv); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			ws.chaosDie = int64(n)
+		}
+	}
+	return ws
+}
+
+// serve handles one connection. The protocol on a connection is strictly
+// sequential — the coordinator checks a connection out of its pool for the
+// duration of an RPC — so the loop reads one frame, acts, and replies.
+func (ws *workerServer) serve(conn net.Conn) {
+	defer conn.Close()
+	var rbuf, wbuf []byte
+	for {
+		f, b, err := readFrame(conn, rbuf)
+		rbuf = b
+		if err != nil {
+			return // EOF or a corrupt/failed peer; drop the connection
+		}
+		if n := ws.frames.Add(1); ws.chaosDie > 0 && n >= ws.chaosDie {
+			os.Exit(3)
+		}
+		switch f.Type {
+		case msgHello, msgPing:
+			wbuf, err = writeFrame(conn, frame{Type: msgOK, Xfer: f.Xfer}, wbuf)
+		case msgPut:
+			ws.put(f)
+			wbuf, err = writeFrame(conn, frame{Type: msgAck, Xfer: f.Xfer, A: f.A, B: f.B}, wbuf)
+		case msgFetch:
+			wbuf, err = ws.fetch(conn, f, wbuf)
+		case msgExec:
+			wbuf, err = ws.exec(conn, f, wbuf)
+		case msgDrop:
+			ws.drop(f.Xfer)
+			wbuf, err = writeFrame(conn, frame{Type: msgOK, Xfer: f.Xfer}, wbuf)
+		case msgStats:
+			wbuf, err = ws.stats(conn, f, wbuf)
+		default:
+			wbuf, err = writeFrame(conn, frame{Type: msgErr, Xfer: f.Xfer,
+				Payload: []byte(fmt.Sprintf("unexpected message type %d", f.Type))}, wbuf)
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// put stores a PUT frame's records into bucket (xfer, dst=A, src=B).
+// flagBegin resets the bucket first, which makes task replays after a retry
+// idempotent instead of duplicating.
+func (ws *workerServer) put(f frame) {
+	recs, err := splitRecords(f.Payload, true)
+	if err != nil {
+		recs = nil // corrupt payload would have failed the CRC; be defensive anyway
+	}
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	x := ws.xfers[f.Xfer]
+	if x == nil {
+		x = make(map[uint32]map[uint32][][]byte)
+		ws.xfers[f.Xfer] = x
+	}
+	d := x[f.A]
+	if d == nil {
+		d = make(map[uint32][][]byte)
+		x[f.A] = d
+	}
+	if f.Flags&flagBegin != 0 {
+		d[f.B] = nil
+	}
+	d[f.B] = append(d[f.B], recs...)
+}
+
+// snapshot returns dst's buckets in ascending source order.
+func (ws *workerServer) snapshot(xfer, dst uint32) [][]byte {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	d := ws.xfers[xfer][dst]
+	srcs := make([]uint32, 0, len(d))
+	for s := range d {
+		srcs = append(srcs, s)
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+	var out [][]byte
+	for _, s := range srcs {
+		out = append(out, d[s]...)
+	}
+	return out
+}
+
+// streamRecords sends recs as msgData frames of ~frameTarget payload each,
+// then msgOK carrying the record count.
+func streamRecords(conn net.Conn, xfer, dst uint32, recs [][]byte, wbuf []byte) ([]byte, error) {
+	payload := make([]byte, 0, frameTarget+4096)
+	var seq uint32
+	var err error
+	flush := func() error {
+		if len(payload) == 0 {
+			return nil
+		}
+		wbuf, err = writeFrame(conn, frame{Type: msgData, Xfer: xfer, A: dst, B: seq, Payload: payload}, wbuf)
+		seq++
+		payload = payload[:0]
+		return err
+	}
+	for _, r := range recs {
+		payload = appendRecord(payload, r)
+		if len(payload) >= frameTarget {
+			if err := flush(); err != nil {
+				return wbuf, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return wbuf, err
+	}
+	return writeFrame(conn, frame{Type: msgOK, Xfer: xfer, A: dst, B: uint32(len(recs))}, wbuf)
+}
+
+// fetch streams the stored records of (xfer, dst) back in source order.
+func (ws *workerServer) fetch(conn net.Conn, f frame, wbuf []byte) ([]byte, error) {
+	if ws.chaosDelay > 0 {
+		time.Sleep(ws.chaosDelay)
+	}
+	return streamRecords(conn, f.Xfer, f.A, ws.snapshot(f.Xfer, f.A), wbuf)
+}
+
+// exec runs a named worker-local task over the stored buckets of
+// (xfer, dst) and streams the result. The only task today is "cartesian":
+// bucket src=0 holds the left partition, src=1 the broadcast right side,
+// and the cross product is pure concatenation l||r — valid JoinRow
+// encodings under the engine's sequential codecs, no type knowledge needed.
+func (ws *workerServer) exec(conn net.Conn, f frame, wbuf []byte) ([]byte, error) {
+	if ws.chaosDelay > 0 {
+		time.Sleep(ws.chaosDelay)
+	}
+	task := string(f.Payload)
+	if task != "cartesian" {
+		return writeFrame(conn, frame{Type: msgErr, Xfer: f.Xfer,
+			Payload: []byte("unknown exec task " + task)}, wbuf)
+	}
+	ws.mu.Lock()
+	d := ws.xfers[f.Xfer][f.A]
+	left, right := d[0], d[1]
+	ws.mu.Unlock()
+	out := make([][]byte, 0, len(left)*len(right))
+	for _, l := range left {
+		for _, r := range right {
+			rec := make([]byte, 0, len(l)+len(r))
+			rec = append(rec, l...)
+			rec = append(rec, r...)
+			out = append(out, rec)
+		}
+	}
+	return streamRecords(conn, f.Xfer, f.A, out, wbuf)
+}
+
+// drop releases all state of a transfer.
+func (ws *workerServer) drop(xfer uint32) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	delete(ws.xfers, xfer)
+}
+
+// stats answers with the store footprint: uvarint transfer count, uvarint
+// total record count. Hygiene tests use it to prove aborted exchanges left
+// nothing behind.
+func (ws *workerServer) stats(conn net.Conn, f frame, wbuf []byte) ([]byte, error) {
+	ws.mu.Lock()
+	nx := len(ws.xfers)
+	var nrec uint64
+	for _, x := range ws.xfers {
+		for _, d := range x {
+			for _, b := range d {
+				nrec += uint64(len(b))
+			}
+		}
+	}
+	ws.mu.Unlock()
+	payload := binary.AppendUvarint(nil, uint64(nx))
+	payload = binary.AppendUvarint(payload, nrec)
+	return writeFrame(conn, frame{Type: msgOK, Xfer: f.Xfer, Payload: payload}, wbuf)
+}

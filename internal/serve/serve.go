@@ -180,6 +180,13 @@ type createRequest struct {
 	Parallel      bool   `json:"parallelRepair,omitempty"`
 	MaxIterations int    `json:"maxIterations,omitempty"`
 	FreezeAfter   int    `json:"freezeAfter,omitempty"`
+	// Backend selects the session's execution backend: "local" (default,
+	// in-process) or "net" (partition exchanges across spawned worker
+	// processes). Closing the session terminates its workers.
+	Backend string `json:"backend,omitempty"`
+	// NetWorkers is the worker-process count for the net backend
+	// (<=0: the engine default of 2).
+	NetWorkers int `json:"netWorkers,omitempty"`
 }
 
 type reportJSON struct {
@@ -310,7 +317,20 @@ func (s *Server) open(name string, req createRequest) (*stream, error) {
 	if req.Parallel {
 		opts = append(opts, cleanse.WithParallelRepair(repair.Options{}))
 	}
-	cleaner, err := cleanse.NewCleaner(engine.New(s.cfg.Workers), ruleSet, opts...)
+	ecfg := engine.Config{Parallelism: s.cfg.Workers}
+	switch req.Backend {
+	case "", "local":
+	case "net":
+		ecfg.Backend = engine.BackendNet
+		ecfg.NetWorkers = req.NetWorkers
+	default:
+		return nil, fmt.Errorf("unknown backend %q (want local or net)", req.Backend)
+	}
+	// The cleaner builds and owns the context, so closing the session (the
+	// end of every stream's life, including the error paths below) shuts
+	// the backend down — on "net", that terminates the worker processes.
+	opts = append(opts, cleanse.WithEngineConfig(ecfg))
+	cleaner, err := cleanse.NewCleaner(nil, ruleSet, opts...)
 	if err != nil {
 		return nil, err
 	}
