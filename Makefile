@@ -3,7 +3,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check fmt vet build test race bench test-spill test-trace test-serve test-vector test-net fuzz-short deprecations
+.PHONY: check fmt vet build test race bench test-spill test-trace test-serve test-vector test-net test-prob fuzz-short deprecations
 
 check: fmt vet build test race deprecations
 
@@ -74,6 +74,15 @@ test-net:
 	$(GO) test ./internal/netexec/...
 	$(GO) test -race ./internal/netexec/...
 	$(GO) test -run 'Net' ./internal/serve/ ./cmd/bigdansing/
+
+# Probabilistic repair subsystem: factor-graph compilation, seeded Gibbs
+# inference and its determinism/degradation contracts (plain and under the
+# race detector — per-component seeding must survive worker scheduling),
+# plus the prob paths of the cleanse loop, the service and the CLI.
+test-prob:
+	$(GO) test ./internal/probrepair/
+	$(GO) test -race ./internal/probrepair/
+	$(GO) test -run 'Prob' ./internal/cleanse/ ./internal/serve/ ./cmd/bigdansing/
 
 # 30 seconds of coverage-guided fuzzing per wire-codec fuzzer, seeded from
 # testdata/fuzz corpora. A finding is checked in as a new corpus file.

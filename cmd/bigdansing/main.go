@@ -26,6 +26,7 @@ import (
 	"bigdansing/internal/engine"
 	"bigdansing/internal/model"
 	"bigdansing/internal/netexec"
+	"bigdansing/internal/probrepair"
 	"bigdansing/internal/repair"
 	"bigdansing/internal/rules"
 	"bigdansing/internal/trace"
@@ -70,8 +71,11 @@ func run(args []string, out io.Writer) error {
 		mode      = fs.String("mode", "detect", "detect | clean | explain")
 		outPath   = fs.String("out", "", "output CSV for the repaired data (clean mode)")
 		workers   = fs.Int("workers", 8, "parallelism of the dataflow backend")
-		algoName  = fs.String("repair", "eq", "repair algorithm: eq (equivalence class) | hypergraph | sampling")
+		algoName  = fs.String("repair", "eq", "repair algorithm: eq (equivalence class) | hypergraph | sampling | prob (factor-graph inference)")
 		parallel  = fs.Bool("parallel-repair", false, "use the parallel black-box repair (Section 5.1)")
+		seed      = fs.Int64("seed", 1, "base seed for randomized repair (sampling draws, prob inference)")
+		probSamp  = fs.Int("prob-samples", probrepair.DefaultSamples, "recorded Gibbs sweeps per component for -repair=prob (0 degrades to the equivalence-class answer)")
+		probSeed  = fs.Int64("prob-seed", 0, "seed for -repair=prob inference; 0 means use -seed")
 		maxIter   = fs.Int("max-iterations", 10, "bound on the detect-repair loop")
 		verbose   = fs.Bool("v", false, "print every violation")
 		stats     = fs.Bool("stats", false, "print the per-stage dataflow execution breakdown")
@@ -273,7 +277,13 @@ func run(args []string, out io.Writer) error {
 		case "hypergraph":
 			algo = &repair.Hypergraph{}
 		case "sampling":
-			algo = &repair.Sampling{}
+			algo = &repair.Sampling{Seed: *seed}
+		case "prob":
+			ps := *probSeed
+			if ps == 0 {
+				ps = *seed
+			}
+			algo = &probrepair.Prob{Samples: *probSamp, Seed: ps}
 		default:
 			return fmt.Errorf("unknown repair algorithm %q", *algoName)
 		}

@@ -131,6 +131,11 @@ func newSession(cfg Cleaner, rel *model.Relation, incremental bool, dirty []int6
 		cp := *ec
 		cp.Prior = s.memory
 		s.algo = &cp
+	} else if cl, ok := s.algo.(repair.Cloner); ok {
+		// Algorithms with per-session mutable state (the probabilistic
+		// backend's learned weights) are cloned so sessions sharing one
+		// Cleaner never share it.
+		s.algo = cl.CloneAlgorithm()
 	}
 	s.ropts = cfg.RepairOpts
 	if s.ropts.Observer == nil {
@@ -277,6 +282,15 @@ func (s *Session) flushLocked() (Report, error) {
 			}
 
 			t1 := time.Now()
+			if iter == 0 {
+				// Learning algorithms fit once per flush, on the pre-repair
+				// relation (clean cells = cells no fix touches).
+				if f, ok := s.algo.(repair.Fitter); ok {
+					if err := f.Fit(s.rel, actionable, obs); err != nil {
+						return false, fmt.Errorf("cleanse: repair fit (iteration %d): %w", iter+1, err)
+					}
+				}
+			}
 			var assignments []repair.Assignment
 			if cfg.Parallel {
 				as, rr, err := repair.RepairParallel(actionable, s.algo, s.ropts)
@@ -287,7 +301,14 @@ func (s *Session) flushLocked() (Report, error) {
 				rep.RepairRounds = append(rep.RepairRounds, rr)
 			} else {
 				csp := obs.BeginSpan(nil, "repair", engine.SpanRepair)
-				as, err := s.algo.Repair(actionable)
+				csp.Attr(engine.AttrAlgorithm, repair.AlgorithmCode(s.algo.Name()))
+				var as []repair.Assignment
+				var err error
+				if sa, ok := s.algo.(repair.SpanAlgorithm); ok {
+					as, err = sa.RepairSpanned(actionable, obs, csp)
+				} else {
+					as, err = s.algo.Repair(actionable)
+				}
 				csp.Attr(engine.AttrAssignments, int64(len(as)))
 				csp.End()
 				if err != nil {

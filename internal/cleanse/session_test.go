@@ -8,6 +8,7 @@ import (
 	"bigdansing/internal/datagen"
 	"bigdansing/internal/engine"
 	"bigdansing/internal/model"
+	"bigdansing/internal/probrepair"
 	"bigdansing/internal/repair"
 	"bigdansing/internal/rules"
 )
@@ -341,5 +342,48 @@ func TestSessionRepairMemorySticky(t *testing.T) {
 		if got := tp.Cell(2).String(); got != "Beta" {
 			t.Errorf("tuple %d: city %q, want sticky Beta", tp.ID, got)
 		}
+	}
+}
+
+// TestSessionProbAlgorithm runs streaming sessions with the probabilistic
+// repair backend: the session must clone the algorithm (per-session learned
+// state, the shared instance stays untouched), learn on the first flush,
+// repair the violations, and reproduce the same relation session over
+// session for a fixed seed.
+func TestSessionProbAlgorithm(t *testing.T) {
+	rel := dirtyTax(8, 8, 2)
+	shared := probrepair.New(7)
+	cleaner, err := NewCleaner(engine.New(4), []*core.Rule{fdZipCity(t, rel)},
+		WithAlgorithm(shared),
+		WithParallelRepair(repair.Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runOnce := func() *model.Relation {
+		t.Helper()
+		s, err := cleaner.Open(rel.Schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		if err := s.Ingest(rel.Tuples); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := s.Flush()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.InitialViolations == 0 || rep.RemainingViolations != 0 {
+			t.Fatalf("prob flush: %+v", rep)
+		}
+		return s.Relation()
+	}
+	a := runOnce()
+	b := runOnce()
+	assertSameRelation(t, a, b)
+	// The session worked on a clone: the instance handed to the cleaner
+	// must not have accumulated learned state.
+	if cl := shared.CloneAlgorithm().(*probrepair.Prob); cl.Seed != 7 {
+		t.Errorf("shared prob instance lost its configuration: %+v", cl)
 	}
 }

@@ -20,15 +20,15 @@ type Truth struct {
 	Clean *model.Relation
 	// Dirty is the generated instance with injected errors.
 	Dirty *model.Relation
-	// Errors maps corrupted cell keys ("tupleID#col") to the clean value.
-	Errors map[string]model.Value
+	// Errors maps corrupted cells to the clean value.
+	Errors map[model.CellKey]model.Value
 	// DupPairs lists injected duplicate pairs (dedup datasets only).
 	DupPairs [][2]int64
 }
 
 // markError registers a corruption.
 func (tr *Truth) markError(tupleID int64, col int, clean model.Value) {
-	tr.Errors[fmt.Sprintf("%d#%d", tupleID, col)] = clean
+	tr.Errors[model.CellKey{TupleID: tupleID, Col: col}] = clean
 }
 
 var firstNames = []string{
@@ -119,7 +119,7 @@ func TaxA(rows int, errRate float64, seed int64) *Truth {
 			model.F(rate),
 		))
 	}
-	tr := &Truth{Clean: clean, Dirty: clean.Clone(), Errors: map[string]model.Value{}}
+	tr := &Truth{Clean: clean, Dirty: clean.Clone(), Errors: map[model.CellKey]model.Value{}}
 	for i := range tr.Dirty.Tuples {
 		if r.Float64() >= errRate {
 			continue
@@ -181,7 +181,7 @@ func TPCH(rows int, errRate float64, seed int64) *Truth {
 			model.F(float64(r.Intn(100000))/100),
 		))
 	}
-	tr := &Truth{Clean: clean, Dirty: clean.Clone(), Errors: map[string]model.Value{}}
+	tr := &Truth{Clean: clean, Dirty: clean.Clone(), Errors: map[model.CellKey]model.Value{}}
 	for i := range tr.Dirty.Tuples {
 		if r.Float64() >= errRate {
 			continue
@@ -206,7 +206,7 @@ func Customers(name string, base, dupFactor int, editRate float64, seed int64) *
 	r := rand.New(rand.NewSource(seed))
 	schema := CustomerSchema()
 	dirty := model.NewRelation(name, schema)
-	tr := &Truth{Dirty: dirty, Errors: map[string]model.Value{}}
+	tr := &Truth{Dirty: dirty, Errors: map[model.CellKey]model.Value{}}
 	id := int64(0)
 	mk := func(ck int64) model.Tuple {
 		t := model.NewTuple(id,
@@ -260,7 +260,7 @@ func NCVoter(rows int, dupRate float64, seed int64) *Truth {
 	r := rand.New(rand.NewSource(seed))
 	schema := NCVoterSchema()
 	dirty := model.NewRelation("ncvoter", schema)
-	tr := &Truth{Dirty: dirty, Errors: map[string]model.Value{}}
+	tr := &Truth{Dirty: dirty, Errors: map[model.CellKey]model.Value{}}
 	id := int64(0)
 	var all []model.Tuple
 	for i := 0; i < rows; i++ {
@@ -327,7 +327,7 @@ func HAI(rows int, errRate float64, seed int64, targets ...int) *Truth {
 			model.F(float64(r.Intn(200))/100),
 		))
 	}
-	tr := &Truth{Clean: clean, Dirty: clean.Clone(), Errors: map[string]model.Value{}}
+	tr := &Truth{Clean: clean, Dirty: clean.Clone(), Errors: map[model.CellKey]model.Value{}}
 	if len(targets) == 0 {
 		// city (col 2), state (col 3), zip (col 4), phone (col 6).
 		targets = []int{2, 3, 4, 6}

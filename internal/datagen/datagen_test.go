@@ -30,8 +30,7 @@ func TestTaxAErrorInjectionRate(t *testing.T) {
 	tr := TaxA(2000, 0.1, 2)
 	dirtyRows := map[int64]bool{}
 	for key := range tr.Errors {
-		id, _ := parseCellKey(key)
-		dirtyRows[id] = true
+		dirtyRows[key.TupleID] = true
 	}
 	frac := float64(len(dirtyRows)) / 2000
 	if frac < 0.07 || frac > 0.13 {
@@ -40,13 +39,12 @@ func TestTaxAErrorInjectionRate(t *testing.T) {
 	// Errors recorded accurately: dirty differs from clean exactly there.
 	cleanIdx := tr.Clean.ByID()
 	for key, cleanVal := range tr.Errors {
-		id, col := parseCellKey(key)
-		di := cleanIdx[id]
-		if tr.Dirty.Tuples[di].Cell(col).Equal(cleanVal) {
-			t.Errorf("cell %s marked dirty but equals clean value", key)
+		di := cleanIdx[key.TupleID]
+		if tr.Dirty.Tuples[di].Cell(key.Col).Equal(cleanVal) {
+			t.Errorf("cell %v marked dirty but equals clean value", key)
 		}
-		if !tr.Clean.Tuples[di].Cell(col).Equal(cleanVal) {
-			t.Errorf("ground truth mismatch at %s", key)
+		if !tr.Clean.Tuples[di].Cell(key.Col).Equal(cleanVal) {
+			t.Errorf("ground truth mismatch at %v", key)
 		}
 	}
 }
@@ -202,8 +200,7 @@ func TestEvaluatePartialRepair(t *testing.T) {
 	i := 0
 	for key, cleanVal := range tr.Errors {
 		if i%2 == 0 {
-			id, col := parseCellKey(key)
-			rep.Apply(idx, id, col, cleanVal)
+			rep.Apply(idx, key.TupleID, key.Col, cleanVal)
 		}
 		i++
 	}
@@ -235,9 +232,11 @@ func TestDedupQuality(t *testing.T) {
 	}
 }
 
-func TestParseCellKey(t *testing.T) {
-	id, col := parseCellKey("12345#7")
-	if id != 12345 || col != 7 {
-		t.Errorf("parse = %d,%d", id, col)
+func TestTruthErrorsKeyedByCellKey(t *testing.T) {
+	tr := &Truth{Errors: map[model.CellKey]model.Value{}}
+	tr.markError(12345, 7, model.S("clean"))
+	v, ok := tr.Errors[model.CellKey{TupleID: 12345, Col: 7}]
+	if !ok || !v.Equal(model.S("clean")) {
+		t.Errorf("markError lookup = %v, %v", v, ok)
 	}
 }

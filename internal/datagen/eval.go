@@ -64,8 +64,7 @@ func Evaluate(tr *Truth, repaired *model.Relation) Quality {
 	// Recall and distance over the injected errors.
 	restored := 0
 	for key, cleanVal := range tr.Errors {
-		id, col := parseCellKey(key)
-		rv, ok := cellOf(repaired, repIdx, id, col)
+		rv, ok := cellOf(repaired, repIdx, key.TupleID, key.Col)
 		if !ok {
 			continue
 		}
@@ -82,28 +81,6 @@ func Evaluate(tr *Truth, repaired *model.Relation) Quality {
 		q.AvgDistance = q.TotalDistance / float64(len(tr.Errors))
 	}
 	return q
-}
-
-// parseCellKey splits "tupleID#col".
-func parseCellKey(key string) (int64, int) {
-	var id int64
-	var col int
-	neg := false
-	i := 0
-	if i < len(key) && key[i] == '-' {
-		neg = true
-		i++
-	}
-	for ; i < len(key) && key[i] != '#'; i++ {
-		id = id*10 + int64(key[i]-'0')
-	}
-	if neg {
-		id = -id
-	}
-	for i++; i < len(key); i++ {
-		col = col*10 + int(key[i]-'0')
-	}
-	return id, col
 }
 
 // DedupQuality measures a deduplication run. Because injected duplicates

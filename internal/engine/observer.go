@@ -119,6 +119,19 @@ const (
 	AttrNetRetries
 	AttrNetRedispatches
 	AttrNetRecoveries
+	// AttrAlgorithm identifies which repair algorithm a repair span ran
+	// (a repair.Algo* code).
+	AttrAlgorithm
+	// AttrVariables / AttrFactors size a probabilistic repair's compiled
+	// factor graph; AttrSamples / AttrAccepted summarize its Gibbs run
+	// (recorded sweeps, value-changing draws); AttrExamples / AttrEpochs
+	// describe its weight-learning pass.
+	AttrVariables
+	AttrFactors
+	AttrSamples
+	AttrAccepted
+	AttrExamples
+	AttrEpochs
 
 	// NumAttrs bounds the enum; implementations may use it to size arrays.
 	NumAttrs
@@ -175,6 +188,20 @@ func (a Attr) String() string {
 		return "net_redispatches"
 	case AttrNetRecoveries:
 		return "net_recoveries"
+	case AttrAlgorithm:
+		return "algorithm"
+	case AttrVariables:
+		return "variables"
+	case AttrFactors:
+		return "factors"
+	case AttrSamples:
+		return "samples"
+	case AttrAccepted:
+		return "accepted"
+	case AttrExamples:
+		return "examples"
+	case AttrEpochs:
+		return "epochs"
 	default:
 		return "attr"
 	}

@@ -230,6 +230,7 @@ func All() []Experiment {
 		{"ext-consolidation", "Extension: consolidated multi-rule plans vs per-rule plans", ExtConsolidation},
 		{"ext-combiner", "Extension: MR combiner effect on distributed equivalence class spill", ExtCombiner},
 		{"ext-net", "Extension: Fig. 10 rerun across real worker processes (net backend)", ExtNet},
+		{"ext-accuracy", "Extension: repair accuracy, equivalence vs hypergraph vs prob (precision/recall/distance)", ExtAccuracy},
 	}
 }
 

@@ -1,0 +1,101 @@
+package probrepair
+
+import (
+	"math"
+	"math/rand"
+)
+
+// inferStats summarizes one sampling run for the prob:infer span.
+type inferStats struct {
+	samples  int // recorded sweeps
+	accepted int // draws that moved a variable to a new value
+}
+
+// run executes seeded blocked Gibbs sampling over the graph: burnIn warm-up
+// sweeps, then samples recorded sweeps whose states accumulate into the
+// returned per-variable marginal counts. Variables are visited in their
+// fixed (deterministic) order, so equal seeds give equal chains.
+func (g *fgraph) run(rng *rand.Rand, burnIn, samples int, w weights) ([][]int, inferStats) {
+	cur := make([]int, len(g.vars))
+	counts := make([][]int, len(g.vars))
+	for i, v := range g.vars {
+		cur[i] = v.init
+		counts[i] = make([]int, len(v.domain))
+	}
+	var st inferStats
+	scores := make([]float64, 0, 16)
+	total := burnIn + samples
+	for sweep := 0; sweep < total; sweep++ {
+		for i, v := range g.vars {
+			if len(v.domain) < 2 {
+				continue
+			}
+			scores = scores[:0]
+			maxScore := math.Inf(-1)
+			for d := range v.domain {
+				s := g.score(i, d, cur, w)
+				scores = append(scores, s)
+				if s > maxScore {
+					maxScore = s
+				}
+			}
+			sum := 0.0
+			for d := range scores {
+				scores[d] = math.Exp(scores[d] - maxScore)
+				sum += scores[d]
+			}
+			pick := rng.Float64() * sum
+			next := len(scores) - 1
+			for d, sw := range scores {
+				if pick < sw {
+					next = d
+					break
+				}
+				pick -= sw
+			}
+			if next != cur[i] {
+				st.accepted++
+			}
+			cur[i] = next
+		}
+		if sweep >= burnIn {
+			st.samples++
+			for i := range g.vars {
+				counts[i][cur[i]]++
+			}
+		}
+	}
+	return counts, st
+}
+
+// score is the log-potential of variable i taking domain value d, given the
+// current state of every other variable: the unary minimality,
+// co-occurrence and constant features plus the rule-violation factors the
+// variable participates in.
+func (g *fgraph) score(i, d int, cur []int, w weights) float64 {
+	v := g.vars[i]
+	s := w.min*v.votes[d] + w.cooc*v.cooc[d] + w.cst*v.consts[d]
+	if len(v.factors) == 0 {
+		return s
+	}
+	val := v.domain[d]
+	for _, fi := range v.factors {
+		f := g.factors[fi]
+		lv := val
+		if f.left != i {
+			lv = g.vars[f.left].domain[cur[f.left]]
+		}
+		rv := f.rightConst
+		if f.rightIsVar {
+			if f.right == i {
+				rv = val
+			} else {
+				rv = g.vars[f.right].domain[cur[f.right]]
+			}
+		}
+		if f.op.Eval(lv, rv) {
+			s += w.rule
+		}
+	}
+	return s
+}

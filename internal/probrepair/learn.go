@@ -1,0 +1,254 @@
+package probrepair
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"bigdansing/internal/engine"
+	"bigdansing/internal/model"
+)
+
+// Prior weights used until Fit has run (and kept when it finds no clean
+// cells to train on).
+const (
+	defaultMinWeight  = 1.5
+	defaultCoocWeight = 1.0
+)
+
+// trainTopK is how many frequent per-column values stand in as the
+// negative candidates of one training example.
+const trainTopK = 8
+
+// learnedState is what Fit produces: the two learned unary weights and the
+// global column-frequency tables the co-occurrence feature reads. The rule
+// and constant weights stay at their priors — the clean portion of the
+// data, by definition, exercises no rule factors, so there is no gradient
+// signal for them (DESIGN.md documents this honestly).
+type learnedState struct {
+	wMin, wCooc float64
+	colFreq     []map[model.ValueKey]float64
+	topVals     [][]model.Value
+	examples    int
+	epochs      int
+}
+
+// freq returns the learned global frequency of v in col, normalized to
+// [0,1] by the column's modal count. ok is false when no table was learned
+// for the column (callers then fall back to component-level counts); a
+// value absent from an existing table scores 0 — it appears nowhere in the
+// data, the strongest possible evidence against it.
+func (ls *learnedState) freq(col int, v model.Value) (float64, bool) {
+	if ls == nil || col >= len(ls.colFreq) || ls.colFreq[col] == nil {
+		return 0, false
+	}
+	return ls.colFreq[col][v.MapKey()], true
+}
+
+// Fit implements repair.Fitter: it learns the minimality and co-occurrence
+// weights from the clean portion of the data — the cells no violation or
+// candidate fix touches — by SGD on a logistic (softmax) objective: each
+// clean cell is a training example whose observed value should out-score
+// the column's frequent alternatives. It also builds the global
+// column-frequency tables inference uses. Sessions call it once per flush,
+// before the repair rounds; the run is deterministic for a fixed Seed.
+func (p *Prob) Fit(rel *model.Relation, fixSets []model.FixSet, obs engine.Observer) error {
+	if rel == nil || rel.Schema == nil {
+		return nil
+	}
+	if obs == nil {
+		obs = engine.Discard
+	}
+	sp := obs.BeginSpan(nil, "prob:learn", engine.SpanRepair)
+	defer sp.End()
+
+	violated := map[model.CellKey]bool{}
+	for _, fs := range fixSets {
+		for _, c := range fs.Violation.Cells {
+			violated[c.MapKey()] = true
+		}
+		for _, f := range fs.Fixes {
+			for _, c := range f.Cells() {
+				violated[c.MapKey()] = true
+			}
+		}
+	}
+
+	// Global per-column value counts -> normalized frequency tables and the
+	// top-K candidate pools.
+	ncols := rel.Schema.Len()
+	type valCount struct {
+		v model.Value
+		n int
+	}
+	counts := make([]map[model.ValueKey]*valCount, ncols)
+	for c := 0; c < ncols; c++ {
+		counts[c] = map[model.ValueKey]*valCount{}
+	}
+	for i := range rel.Tuples {
+		t := &rel.Tuples[i]
+		for c := 0; c < ncols && c < len(t.Cells); c++ {
+			vk := t.Cells[c].MapKey()
+			vc := counts[c][vk]
+			if vc == nil {
+				vc = &valCount{v: t.Cells[c]}
+				counts[c][vk] = vc
+			}
+			vc.n++
+		}
+	}
+	ls := &learnedState{
+		wMin:    defaultMinWeight,
+		wCooc:   defaultCoocWeight,
+		colFreq: make([]map[model.ValueKey]float64, ncols),
+		topVals: make([][]model.Value, ncols),
+	}
+	for c := 0; c < ncols; c++ {
+		if len(counts[c]) == 0 {
+			continue
+		}
+		vcs := make([]*valCount, 0, len(counts[c]))
+		maxN := 0
+		for _, vc := range counts[c] {
+			vcs = append(vcs, vc)
+			if vc.n > maxN {
+				maxN = vc.n
+			}
+		}
+		ls.colFreq[c] = make(map[model.ValueKey]float64, len(vcs))
+		for _, vc := range vcs {
+			ls.colFreq[c][vc.v.MapKey()] = float64(vc.n) / float64(maxN)
+		}
+		sort.Slice(vcs, func(i, j int) bool {
+			if vcs[i].n != vcs[j].n {
+				return vcs[i].n > vcs[j].n
+			}
+			return cmpValue(vcs[i].v, vcs[j].v) < 0
+		})
+		if len(vcs) > trainTopK {
+			vcs = vcs[:trainTopK]
+		}
+		ls.topVals[c] = make([]model.Value, len(vcs))
+		for i, vc := range vcs {
+			ls.topVals[c][i] = vc.v
+		}
+	}
+
+	// Training examples: the clean cells, deterministically subsampled by
+	// stride when there are more than MaxExamples.
+	type example struct {
+		col int
+		v   model.Value
+	}
+	var examples []example
+	for i := range rel.Tuples {
+		t := &rel.Tuples[i]
+		for c := 0; c < ncols && c < len(t.Cells); c++ {
+			if violated[model.CellKey{TupleID: t.ID, Col: c}] {
+				continue
+			}
+			if len(ls.topVals[c]) < 2 {
+				continue // a single-valued column carries no ranking signal
+			}
+			examples = append(examples, example{col: c, v: t.Cells[c]})
+		}
+	}
+	maxExamples := p.MaxExamples
+	if maxExamples <= 0 {
+		maxExamples = 2000
+	}
+	if len(examples) > maxExamples {
+		step := len(examples) / maxExamples
+		strided := make([]example, 0, maxExamples)
+		for i := 0; i < len(examples) && len(strided) < maxExamples; i += step {
+			strided = append(strided, examples[i])
+		}
+		examples = strided
+	}
+
+	epochs := p.LearnEpochs
+	if epochs <= 0 {
+		epochs = 3
+	}
+	lr := p.LearnRate
+	if lr <= 0 {
+		lr = 0.1
+	}
+	l2 := p.L2
+	if l2 <= 0 {
+		l2 = 0.01
+	}
+	seed := p.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(int64(splitmix64(uint64(seed) ^ 0xf17a11))))
+
+	if len(examples) > 0 {
+		wMin, wCooc := ls.wMin, ls.wCooc
+		fMin := make([]float64, 0, trainTopK+1)
+		fCooc := make([]float64, 0, trainTopK+1)
+		probs := make([]float64, 0, trainTopK+1)
+		for e := 0; e < epochs; e++ {
+			rng.Shuffle(len(examples), func(i, j int) {
+				examples[i], examples[j] = examples[j], examples[i]
+			})
+			for _, ex := range examples {
+				// Candidates: the column's frequent values plus the observed
+				// one; the observed value must out-score the rest.
+				cands := ls.topVals[ex.col]
+				obsIdx := -1
+				for i, c := range cands {
+					if c.Equal(ex.v) {
+						obsIdx = i
+						break
+					}
+				}
+				if obsIdx < 0 {
+					cands = append(append([]model.Value{}, cands...), ex.v)
+					obsIdx = len(cands) - 1
+				}
+				fMin, fCooc, probs = fMin[:0], fCooc[:0], probs[:0]
+				maxScore := math.Inf(-1)
+				for i, c := range cands {
+					m := 0.0
+					if i == obsIdx {
+						m = 1
+					}
+					fr, _ := ls.freq(ex.col, c)
+					co := 0.5*m + 0.5*fr // the same blend inference uses
+					fMin = append(fMin, m)
+					fCooc = append(fCooc, co)
+					s := wMin*m + wCooc*co
+					probs = append(probs, s)
+					if s > maxScore {
+						maxScore = s
+					}
+				}
+				sum := 0.0
+				for i := range probs {
+					probs[i] = math.Exp(probs[i] - maxScore)
+					sum += probs[i]
+				}
+				var eMin, eCooc float64
+				for i := range probs {
+					probs[i] /= sum
+					eMin += probs[i] * fMin[i]
+					eCooc += probs[i] * fCooc[i]
+				}
+				wMin += lr*(fMin[obsIdx]-eMin) - lr*l2*wMin
+				wCooc += lr*(fCooc[obsIdx]-eCooc) - lr*l2*wCooc
+			}
+		}
+		clamp := func(w float64) float64 {
+			return math.Min(8, math.Max(0.05, w))
+		}
+		ls.wMin, ls.wCooc = clamp(wMin), clamp(wCooc)
+	}
+	ls.examples = len(examples)
+	ls.epochs = epochs
+	p.setLearned(ls)
+	sp.Attr(engine.AttrExamples, int64(ls.examples))
+	sp.Attr(engine.AttrEpochs, int64(ls.epochs))
+	return nil
+}

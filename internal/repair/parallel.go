@@ -72,6 +72,7 @@ func RepairParallel(fixSets []model.FixSet, algo Algorithm, opts Options) ([]Ass
 	}
 	sp := obs.BeginSpan(nil, "repair", engine.SpanRepair)
 	defer sp.End()
+	sp.Attr(engine.AttrAlgorithm, AlgorithmCode(algo.Name()))
 
 	// 1-2. Connected components over interned cell IDs (parallel
 	// union-find); the per-fix-set cell keys are reused for splitting.
@@ -131,7 +132,7 @@ func RepairParallel(fixSets []model.FixSet, algo Algorithm, opts Options) ([]Ass
 				results[slot], errs[slot] = as, err
 				return
 			}
-			as, err := algo.Repair(comp)
+			as, err := repairWith(algo, comp, obs, esp)
 			results[slot], errs[slot] = as, err
 		}(i, id)
 	}
@@ -156,6 +157,16 @@ func RepairParallel(fixSets []model.FixSet, algo Algorithm, opts Options) ([]Ass
 	sp.Attr(engine.AttrConflicts, int64(report.Conflicts))
 	sp.Attr(engine.AttrAssignments, int64(report.Assignments))
 	return all, report, nil
+}
+
+// repairWith runs one repair instance, routing span-reporting algorithms
+// through RepairSpanned with the explicit parent the concurrent-span
+// contract requires.
+func repairWith(algo Algorithm, component []model.FixSet, obs engine.Observer, parent engine.Span) ([]Assignment, error) {
+	if sa, ok := algo.(SpanAlgorithm); ok {
+		return sa.RepairSpanned(component, obs, parent)
+	}
+	return algo.Repair(component)
 }
 
 // repairSplit handles one oversized component: split it k-ways with the
@@ -200,7 +211,7 @@ func repairSplit(comp []model.FixSet, keys [][]model.CellKey, algo Algorithm, op
 				continue
 			}
 			anyPending = true
-			as, err := algo.Repair(pending[pi])
+			as, err := repairWith(algo, pending[pi], obs, rsp)
 			if err != nil {
 				rsp.End()
 				return nil, conflicts, err

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"bigdansing/internal/engine"
 	"bigdansing/internal/model"
 )
 
@@ -48,6 +49,61 @@ type Algorithm interface {
 	Name() string
 	// Repair chooses updates for one component's violations.
 	Repair(component []model.FixSet) ([]Assignment, error)
+}
+
+// Fitter is implemented by algorithms that learn from the data before
+// repairing (the probabilistic backend fits factor weights on the clean
+// portion of the relation). The cleansing loop calls Fit once per flush,
+// on the first detect-repair round, with the full relation and the
+// actionable fix sets; obs (which may be nil) receives the learning spans.
+type Fitter interface {
+	Fit(rel *model.Relation, fixSets []model.FixSet, obs engine.Observer) error
+}
+
+// Cloner is implemented by algorithms that carry per-session mutable state
+// (learned weights, caches). Sessions clone the configured algorithm so
+// concurrent sessions sharing one Cleaner never share that state.
+type Cloner interface {
+	CloneAlgorithm() Algorithm
+}
+
+// SpanAlgorithm is implemented by algorithms that report Observer spans of
+// their own (compilation, inference). Callers that run components
+// concurrently — RepairParallel's instances — use it to hand the explicit
+// parent span the tracer's concurrency contract requires; serial callers
+// pass their enclosing span (or nil for scoped nesting).
+type SpanAlgorithm interface {
+	Algorithm
+	RepairSpanned(component []model.FixSet, obs engine.Observer, parent engine.Span) ([]Assignment, error)
+}
+
+// Algorithm codes for the enum-keyed AttrAlgorithm span attribute, so
+// -explain and trace exports can tell which algorithm a repair span ran.
+const (
+	AlgoUnknown int64 = iota
+	AlgoEquivalenceClass
+	AlgoHypergraph
+	AlgoSampling
+	AlgoDistributedEq
+	AlgoProb
+)
+
+// AlgorithmCode maps an algorithm's Name to its span-attribute code
+// (AlgoUnknown for user-supplied algorithms).
+func AlgorithmCode(name string) int64 {
+	switch name {
+	case "equivalence-class":
+		return AlgoEquivalenceClass
+	case "hypergraph":
+		return AlgoHypergraph
+	case "sampling":
+		return AlgoSampling
+	case "equivalence-class-mr":
+		return AlgoDistributedEq
+	case "prob":
+		return AlgoProb
+	}
+	return AlgoUnknown
 }
 
 // Apply materializes assignments into the relation, skipping cells in

@@ -39,6 +39,7 @@ import (
 	"bigdansing/internal/core"
 	"bigdansing/internal/engine"
 	"bigdansing/internal/model"
+	"bigdansing/internal/probrepair"
 	"bigdansing/internal/repair"
 	"bigdansing/internal/rules"
 	"bigdansing/internal/trace"
@@ -175,11 +176,19 @@ type createRequest struct {
 	// Schema uses the "name,zipcode:int,rate:float" notation.
 	Schema string     `json:"schema"`
 	Rules  []ruleSpec `json:"rules"`
-	// Algorithm: eq (default) | hypergraph | sampling.
+	// Algorithm: eq (default) | hypergraph | sampling | prob. "repair" is
+	// accepted as an alias key.
 	Algorithm     string `json:"algorithm,omitempty"`
+	Repair        string `json:"repair,omitempty"`
 	Parallel      bool   `json:"parallelRepair,omitempty"`
 	MaxIterations int    `json:"maxIterations,omitempty"`
 	FreezeAfter   int    `json:"freezeAfter,omitempty"`
+	// Seed drives the randomized repair algorithms (sampling, prob);
+	// 0 means their default seed of 1.
+	Seed int64 `json:"seed,omitempty"`
+	// ProbSamples is the recorded Gibbs sweep count per component for the
+	// prob algorithm (<=0: the probrepair default).
+	ProbSamples int `json:"probSamples,omitempty"`
 	// Backend selects the session's execution backend: "local" (default,
 	// in-process) or "net" (partition exchanges across spawned worker
 	// processes). Closing the session terminates its workers.
@@ -305,14 +314,24 @@ func (s *Server) open(name string, req createRequest) (*stream, error) {
 		cleanse.WithMaxIterations(req.MaxIterations),
 		cleanse.WithFreezeAfter(req.FreezeAfter),
 	}
-	switch req.Algorithm {
+	algoName := req.Algorithm
+	if algoName == "" {
+		algoName = req.Repair
+	}
+	switch algoName {
 	case "", "eq":
 	case "hypergraph":
 		opts = append(opts, cleanse.WithAlgorithm(&repair.Hypergraph{}))
 	case "sampling":
-		opts = append(opts, cleanse.WithAlgorithm(&repair.Sampling{}))
+		opts = append(opts, cleanse.WithAlgorithm(&repair.Sampling{Seed: req.Seed}))
+	case "prob":
+		samples := req.ProbSamples
+		if samples <= 0 {
+			samples = probrepair.DefaultSamples
+		}
+		opts = append(opts, cleanse.WithAlgorithm(&probrepair.Prob{Samples: samples, Seed: req.Seed}))
 	default:
-		return nil, fmt.Errorf("unknown repair algorithm %q", req.Algorithm)
+		return nil, fmt.Errorf("unknown repair algorithm %q", algoName)
 	}
 	if req.Parallel {
 		opts = append(opts, cleanse.WithParallelRepair(repair.Options{}))

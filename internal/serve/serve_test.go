@@ -354,3 +354,63 @@ func TestServeCreateValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestServeProbSession drives a session with the probabilistic repair
+// backend through the HTTP API: the "repair" alias, the seed and the sample
+// budget all arrive at the algorithm, the flush repairs the FD violations,
+// and the explain tree shows the prob spans.
+func TestServeProbSession(t *testing.T) {
+	srv := New(Config{Workers: 2, QueueDepth: 8})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	req := createRequest{
+		Schema: taxSchema,
+		Rules: []ruleSpec{
+			{ID: "phi1", Kind: "fd", Spec: "zipcode -> city"},
+		},
+		Repair:      "prob",
+		Seed:        7,
+		ProbSamples: 64,
+		Parallel:    true,
+	}
+	b, _ := json.Marshal(req)
+	code, body := do(t, c, "POST", ts.URL+"/sessions/prob", string(b))
+	if code != http.StatusCreated {
+		t.Fatalf("create: %d %s", code, body)
+	}
+
+	all := rows(4, 6, 2)
+	rb, _ := json.Marshal(map[string]any{"tuples": all})
+	if code, body := do(t, c, "POST", ts.URL+"/sessions/prob/ingest", string(rb)); code != http.StatusAccepted {
+		t.Fatalf("ingest: %d %s", code, body)
+	}
+	code, body = do(t, c, "POST", ts.URL+"/sessions/prob/flush", "")
+	if code != http.StatusOK {
+		t.Fatalf("flush: %d %s", code, body)
+	}
+	var rep reportJSON
+	json.Unmarshal(body, &rep)
+	if rep.InitialViolations == 0 || rep.RemainingViolations != 0 {
+		t.Errorf("prob flush should repair all FD violations: %+v", rep)
+	}
+
+	code, body = do(t, c, "GET", ts.URL+"/sessions/prob/relation", "")
+	if code != http.StatusOK {
+		t.Fatalf("relation: %d", code)
+	}
+	if bytes.Contains(body, []byte("_typo")) {
+		t.Error("relation still contains corrupted cities after prob flush")
+	}
+
+	code, body = do(t, c, "GET", ts.URL+"/sessions/prob/explain", "")
+	if code != http.StatusOK {
+		t.Fatalf("explain: %d", code)
+	}
+	for _, want := range []string{"prob:learn", "prob:infer"} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Errorf("explain output missing %q:\n%s", want, body)
+		}
+	}
+}

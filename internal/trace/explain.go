@@ -24,6 +24,10 @@ var treeAttrs = []engine.Attr{
 	engine.AttrDetectNanos, engine.AttrGenFixNanos,
 	engine.AttrComponents, engine.AttrSplitComponents,
 	engine.AttrConflicts, engine.AttrAssignments,
+	engine.AttrAlgorithm,
+	engine.AttrVariables, engine.AttrFactors,
+	engine.AttrExamples, engine.AttrEpochs,
+	engine.AttrSamples, engine.AttrAccepted,
 }
 
 // WriteTree renders the tracer's span tree. Call it after Finish.
