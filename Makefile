@@ -3,7 +3,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check fmt vet build test race bench test-spill test-trace test-serve test-vector test-net test-prob fuzz-short deprecations
+.PHONY: check fmt vet build test race bench test-spill test-trace test-serve test-vector test-net test-prob test-plan fuzz-short deprecations
 
 check: fmt vet build test race deprecations
 
@@ -84,6 +84,16 @@ test-prob:
 	$(GO) test -race ./internal/probrepair/
 	$(GO) test -run 'Prob' ./internal/cleanse/ ./internal/serve/ ./cmd/bigdansing/
 
+# Cost-based planner subsystem: the Planner API with its cost model, stats
+# sampling and observer-feedback loop, the static-identity property test in
+# rules, the broadcast execution variant, and the planner paths of the CLI
+# and the service — plain and under the race detector, since broadcast
+# grouping and the feedback recorder run inside parallel stages.
+test-plan:
+	$(GO) test -run 'Plan|Cost|Feedback|Broadcast|Optimize|Sample|OpsMarkers|Explain|Stats' \
+		./internal/core/ ./internal/rules/ ./internal/engine/ ./cmd/bigdansing/ ./internal/serve/
+	$(GO) test -race -run 'Plan|Cost|Feedback|Broadcast' ./internal/core/ ./internal/serve/
+
 # 30 seconds of coverage-guided fuzzing per wire-codec fuzzer, seeded from
 # testdata/fuzz corpora. A finding is checked in as a new corpus file.
 fuzz-short:
@@ -96,12 +106,22 @@ fuzz-short:
 # themselves (context.go), their compatibility test (observer_test.go),
 # and internal/mapred plus its callers — mapred.Stats is a different type
 # whose accessors legitimately share these names.
+# It also fails on calls to the deprecated core.Optimize (use
+# core.NewPlanner().Plan). Allowed: the shim itself (physical.go) and its
+# identity test (planner_test.go).
 deprecations:
 	@matches="$$(grep -rnE '\.Stats\(\)\.(Stages|Tasks|RecordsShuffled|RecordsRead|BytesSpilled|SpillRuns|MergePasses|PeakReservedBytes)\(\)' \
 		--include='*.go' cmd examples internal *.go \
 		| grep -vE 'internal/engine/context\.go|internal/engine/observer_test\.go|internal/mapred/|internal/experiments/extensions\.go' || true)"; \
 	if [ -n "$$matches" ]; then \
 		echo "deprecated engine.Stats getters referenced (use Stats().Snapshot()):"; \
+		echo "$$matches"; exit 1; \
+	fi
+	@matches="$$(grep -rnE '(^|[^A-Za-z_])Optimize\(' \
+		--include='*.go' cmd examples internal *.go \
+		| grep -vE 'internal/core/physical\.go|internal/core/planner_test\.go' || true)"; \
+	if [ -n "$$matches" ]; then \
+		echo "deprecated core.Optimize referenced (use core.NewPlanner().Plan):"; \
 		echo "$$matches"; exit 1; \
 	fi
 

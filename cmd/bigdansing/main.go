@@ -88,6 +88,9 @@ func run(args []string, out io.Writer) error {
 		backend   = fs.String("backend", "local", "execution backend: local (in-process) | net (worker processes over TCP)")
 		netWork   = fs.Int("net-workers", 0, "worker processes for -backend=net; 0 = the -workers value")
 		netAddrs  = fs.String("net-addrs", "", "comma-separated addresses of pre-started workers (`bigdansing worker -addr ...`) to join instead of spawning")
+		planner   = fs.String("planner", engine.PlannerStatic, "physical planner: static (legacy rule-shape choices) | cost (statistics- and feedback-driven)")
+		statsIn   = fs.String("stats-in", "", "read prior-run pipeline measurements (a -stats-out file) to refine the cost planner's estimates")
+		statsOut  = fs.String("stats-out", "", "write this run's measured pipeline statistics (pairs, violations) for a later -stats-in")
 	)
 	var fds, dcs, cfds, dedups multiFlag
 	fs.Var(&fds, "fd", "functional dependency, e.g. 'zipcode -> city' (repeatable)")
@@ -170,11 +173,46 @@ func run(args []string, out io.Writer) error {
 	if *explain || *tracePath != "" {
 		tracer = trace.New()
 	}
+
+	// The planner: -planner=cost builds the statistics-driven planner, fed
+	// with prior-run measurements when -stats-in names a file; -stats-out
+	// tees a FeedbackRecorder into the run so the measured pipeline stats
+	// (pairs, violations) round-trip into the next run's estimates.
+	var feedback core.FeedbackSource
+	if *statsIn != "" {
+		fb, err := core.ReadFeedbackFile(*statsIn)
+		if err != nil {
+			return fmt.Errorf("-stats-in: %w", err)
+		}
+		feedback = fb
+	}
+	var recorder *core.FeedbackRecorder
+	if *statsOut != "" {
+		recorder = core.NewFeedbackRecorder()
+	}
+	var pl *core.Planner
+	switch *planner {
+	case engine.PlannerStatic:
+	case engine.PlannerCost:
+		popts := []core.PlannerOption{
+			core.WithCostModel(core.NewCostModel()),
+			core.WithMemoryBudget(budget),
+			core.WithParallelism(*workers),
+		}
+		if feedback != nil {
+			popts = append(popts, core.WithObserverFeedback(feedback))
+		}
+		pl = core.NewPlanner(popts...)
+	default:
+		return fmt.Errorf("-planner: unknown planner %q (want %s or %s)", *planner, engine.PlannerStatic, engine.PlannerCost)
+	}
+
 	cfg := engine.Config{
 		Parallelism:       *workers,
 		MemoryBudgetBytes: budget,
 		SpillDir:          *spillDir,
 		BatchSize:         *batchSize,
+		Planner:           *planner,
 	}
 	switch *backend {
 	case "local":
@@ -194,14 +232,28 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown backend %q (want local or net)", *backend)
 	}
-	if tracer != nil {
+	switch {
+	case tracer != nil && recorder != nil:
+		cfg.Observer = engine.Tee(tracer, recorder)
+	case tracer != nil:
 		cfg.Observer = tracer
+	case recorder != nil:
+		cfg.Observer = recorder
 	}
 	ctx, err := engine.NewContext(cfg)
 	if err != nil {
 		return err
 	}
 	defer ctx.Close()
+	if recorder != nil {
+		defer func() {
+			if err := recorder.PlanFeedback().WriteFile(*statsOut); err != nil {
+				fmt.Fprintln(os.Stderr, "bigdansing: stats-out:", err)
+			} else {
+				fmt.Fprintf(out, "pipeline stats written to %s\n", *statsOut)
+			}
+		}()
+	}
 	if *stats {
 		defer func() {
 			fmt.Fprintf(out, "\ndataflow stages:\n%s", ctx.Stats().Snapshot())
@@ -212,6 +264,12 @@ func run(args []string, out io.Writer) error {
 		// partial span tree is exactly what explains a failure.
 		defer func() {
 			tracer.Finish()
+			if *explain && pl != nil && *mode != "explain" {
+				fmt.Fprintf(out, "\nplanner decisions:\n")
+				for _, h := range pl.History() {
+					fmt.Fprint(out, h)
+				}
+			}
 			if *explain {
 				fmt.Fprintf(out, "\nexecution trace:\n")
 				if err := trace.WriteTree(out, tracer); err != nil {
@@ -233,7 +291,11 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		pp, err := core.Optimize(lp)
+		plan := pl
+		if plan == nil {
+			plan = core.NewPlanner()
+		}
+		pp, err := plan.Plan(lp)
 		if err != nil {
 			return err
 		}
@@ -241,7 +303,7 @@ func run(args []string, out io.Writer) error {
 		return nil
 
 	case "detect":
-		res, err := core.DetectRules(ctx, ruleSet, rel)
+		res, err := core.DetectRulesWith(ctx, pl, ruleSet, rel)
 		if err != nil {
 			return err
 		}
@@ -290,6 +352,9 @@ func run(args []string, out io.Writer) error {
 		opts := []cleanse.Option{
 			cleanse.WithAlgorithm(algo),
 			cleanse.WithMaxIterations(*maxIter),
+		}
+		if pl != nil {
+			opts = append(opts, cleanse.WithPlanner(pl))
 		}
 		if *parallel {
 			opts = append(opts, cleanse.WithParallelRepair(repair.Options{}))

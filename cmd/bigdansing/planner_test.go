@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bigdansing/internal/core"
+)
+
+func TestPlannerFlagCostDetect(t *testing.T) {
+	input := writeTaxCSV(t)
+	var static, cost bytes.Buffer
+	base := []string{
+		"-input", input, "-schema", taxSchema,
+		"-fd", "zipcode -> city",
+		"-mode", "detect",
+	}
+	if err := run(base, &static); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(base, "-planner", "cost"), &cost); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cost.String(), "violations: 2") {
+		t.Errorf("cost planner changed results:\n%s", cost.String())
+	}
+	if !strings.Contains(static.String(), "violations: 2") {
+		t.Errorf("static output:\n%s", static.String())
+	}
+}
+
+func TestPlannerFlagRejectsJunk(t *testing.T) {
+	input := writeTaxCSV(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-input", input, "-schema", taxSchema,
+		"-fd", "zipcode -> city",
+		"-mode", "detect", "-planner", "bogus",
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "planner") {
+		t.Fatalf("err = %v, want planner flag error", err)
+	}
+}
+
+func TestExplainModeCostShowsAlternatives(t *testing.T) {
+	input := writeTaxCSV(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-input", input, "-schema", taxSchema,
+		"-fd", "zipcode -> city",
+		"-dc", "t1.salary > t2.salary & t1.rate < t2.rate",
+		"-mode", "explain", "-planner", "cost",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"chosen", "rejected", "total=", "OCJoin"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("cost explain missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestStatsOutInRoundTrip(t *testing.T) {
+	input := writeTaxCSV(t)
+	statsPath := filepath.Join(t.TempDir(), "stats.json")
+
+	var first bytes.Buffer
+	err := run([]string{
+		"-input", input, "-schema", taxSchema,
+		"-fd", "zipcode -> city",
+		"-mode", "detect", "-stats-out", statsPath,
+	}, &first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(first.String(), "pipeline stats written to") {
+		t.Fatalf("no stats-out confirmation:\n%s", first.String())
+	}
+	fb, err := core.ReadFeedbackFile(statsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, ok := fb.Pipelines["fd1"]
+	if !ok || pf.Pairs <= 0 {
+		t.Fatalf("stats file should record measured pairs for fd1: %+v", fb.Pipelines)
+	}
+
+	var second bytes.Buffer
+	err = run([]string{
+		"-input", input, "-schema", taxSchema,
+		"-fd", "zipcode -> city",
+		"-mode", "detect", "-planner", "cost",
+		"-stats-in", statsPath, "-explain",
+	}, &second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := second.String()
+	if !strings.Contains(text, "planner decisions:") {
+		t.Fatalf("-explain with cost planner should audit decisions:\n%s", text)
+	}
+	if !strings.Contains(text, "violations: 2") {
+		t.Errorf("fed-back run changed results:\n%s", text)
+	}
+}
+
+func TestStatsInMissingFile(t *testing.T) {
+	input := writeTaxCSV(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-input", input, "-schema", taxSchema,
+		"-fd", "zipcode -> city",
+		"-mode", "detect",
+		"-stats-in", filepath.Join(t.TempDir(), "nope.json"),
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "stats-in") {
+		t.Fatalf("err = %v, want stats-in error", err)
+	}
+	_ = os.Remove("nope.json")
+}

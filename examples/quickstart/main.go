@@ -62,7 +62,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	pp, err := core.Optimize(lp)
+	pp, err := core.NewPlanner().Plan(lp)
 	if err != nil {
 		log.Fatal(err)
 	}

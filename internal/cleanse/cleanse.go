@@ -54,6 +54,12 @@ type Cleaner struct {
 	// applied to the context on the first Clean or Open. Zero keeps the
 	// tuple-at-a-time path. Results are identical either way.
 	BatchSize int
+	// Planner, when set, plans every detection pass (full and incremental)
+	// of this Cleaner — typically core.NewPlanner with the cost-based model
+	// and an Observer-feedback source, so long-lived sessions re-plan each
+	// flush on measured costs. Nil falls back to the context's planner mode
+	// (engine.Config.Planner).
+	Planner *core.Planner
 
 	observerAttached bool
 
@@ -123,6 +129,14 @@ func WithObserver(o engine.Observer) Option {
 // spawned worker processes.
 func WithEngineConfig(cfg engine.Config) Option {
 	return func(c *Cleaner) { c.engineCfg = &cfg }
+}
+
+// WithPlanner installs the physical Planner detection passes use — e.g.
+// core.NewPlanner(core.WithCostModel(core.NewCostModel()),
+// core.WithObserverFeedback(recorder)) for statistics- and feedback-driven
+// plans. Nil keeps the context's planner mode.
+func WithPlanner(p *core.Planner) Option {
+	return func(c *Cleaner) { c.Planner = p }
 }
 
 // WithBatchSize runs vectorizable detection pipelines over column batches

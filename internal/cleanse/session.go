@@ -118,6 +118,7 @@ func newSession(cfg Cleaner, rel *model.Relation, incremental bool, dirty []int6
 		if err != nil {
 			return nil, err
 		}
+		d.SetPlanner(cfg.Planner)
 		s.det = d
 	}
 	// The repair algorithm: the configured one, or the equivalence-class
@@ -375,7 +376,7 @@ func (s *Session) flushLocked() (Report, error) {
 // priming full pass), full otherwise.
 func (s *Session) detect() (*core.DetectResult, error) {
 	if s.det == nil {
-		return core.DetectRules(s.cfg.Ctx, s.cfg.Rules, s.rel)
+		return core.DetectRulesWith(s.cfg.Ctx, s.cfg.Planner, s.cfg.Rules, s.rel)
 	}
 	changed := s.dirty
 	if !s.det.Primed() {

@@ -139,7 +139,7 @@ func TestDCDetectionViaOCJoin(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pp, err := Optimize(lp)
+	pp, err := NewPlanner().Plan(lp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +197,7 @@ func TestOptimizerEnhancerSelection(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", c.name, err)
 		}
-		pp, err := Optimize(lp)
+		pp, err := NewPlanner().Plan(lp)
 		if err != nil {
 			t.Fatalf("%s: %v", c.name, err)
 		}

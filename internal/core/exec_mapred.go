@@ -32,6 +32,9 @@ func runPipelineMR(eng *mapred.Engine, pp *PhysicalPlan, p *PhysicalPipeline, nS
 	if p.Impl == IterOCJoin {
 		return fmt.Errorf("core: pipeline %s: OCJoin is not supported on the MapReduce backend", p.RuleID)
 	}
+	if p.Broadcast {
+		return fmt.Errorf("core: pipeline %s: broadcast plans are not supported on the MapReduce backend", p.RuleID)
+	}
 	if len(p.Branches) > 2 {
 		return fmt.Errorf("core: pipeline %s: MapReduce backend supports at most two branches", p.RuleID)
 	}
@@ -137,7 +140,7 @@ func DetectRuleMapReduce(eng *mapred.Engine, r *Rule, rel *model.Relation, nSpli
 	if err != nil {
 		return nil, err
 	}
-	pp, err := Optimize(lp)
+	pp, err := NewPlanner().Plan(lp)
 	if err != nil {
 		return nil, err
 	}

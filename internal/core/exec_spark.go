@@ -233,9 +233,11 @@ func (ex *sparkExec) runPipeline(pp *PhysicalPlan, p *PhysicalPipeline, out *Det
 	defer sp.End()
 	// When a user Observer is installed, wrap the Detect and GenFix UDFs
 	// with cumulative nanosecond timers (one atomic add per item, never per
-	// record cell). With only the default Stats observer the closures stay
-	// unwrapped and the hot path pays nothing.
-	var detectNs, genfixNs atomic.Int64
+	// record cell) and count the candidate items fed to Detect (AttrPairs —
+	// the measurement the cost-based planner's feedback loop learns from).
+	// With only the default Stats observer the closures stay unwrapped and
+	// the hot path pays nothing.
+	var detectNs, genfixNs, pairs atomic.Int64
 	instrumented := ex.ctx.Instrumented()
 
 	var violations *engine.Dataset[model.Violation]
@@ -273,6 +275,7 @@ func (ex *sparkExec) runPipeline(pp *PhysicalPlan, p *PhysicalPipeline, out *Det
 		if instrumented {
 			inner := detect
 			detect = func(it Item) []model.Violation {
+				pairs.Add(1)
 				t0 := time.Now()
 				vs := inner(it)
 				detectNs.Add(int64(time.Since(t0)))
@@ -317,7 +320,7 @@ func (ex *sparkExec) runPipeline(pp *PhysicalPlan, p *PhysicalPipeline, out *Det
 			out.FixSets = append(out.FixSets, fs)
 			fixes += len(fs.Fixes)
 		}
-		finishPipelineSpan(sp, instrumented, int64(len(sets)), int64(fixes), &detectNs, &genfixNs)
+		finishPipelineSpan(sp, instrumented, int64(len(sets)), int64(fixes), &detectNs, &genfixNs, &pairs)
 		return nil
 	}
 	vs, err := violations.Collect()
@@ -328,18 +331,20 @@ func (ex *sparkExec) runPipeline(pp *PhysicalPlan, p *PhysicalPipeline, out *Det
 		out.Violations = append(out.Violations, v)
 		out.FixSets = append(out.FixSets, model.FixSet{Violation: v})
 	}
-	finishPipelineSpan(sp, instrumented, int64(len(vs)), 0, &detectNs, &genfixNs)
+	finishPipelineSpan(sp, instrumented, int64(len(vs)), 0, &detectNs, &genfixNs, &pairs)
 	return nil
 }
 
 // finishPipelineSpan stamps a pipeline span's summary attributes. The UDF
-// timers are only reported when they were actually measured.
-func finishPipelineSpan(sp engine.Span, instrumented bool, violations, fixes int64, detectNs, genfixNs *atomic.Int64) {
+// timers and the pair count are only reported when they were actually
+// measured.
+func finishPipelineSpan(sp engine.Span, instrumented bool, violations, fixes int64, detectNs, genfixNs, pairs *atomic.Int64) {
 	sp.Attr(engine.AttrViolations, violations)
 	sp.Attr(engine.AttrFixes, fixes)
 	if instrumented {
 		sp.Attr(engine.AttrDetectNanos, detectNs.Load())
 		sp.Attr(engine.AttrGenFixNanos, genfixNs.Load())
+		sp.Attr(engine.AttrPairs, pairs.Load())
 	}
 }
 
@@ -348,6 +353,9 @@ func finishPipelineSpan(sp engine.Span, instrumented bool, violations, fixes int
 func (ex *sparkExec) items(pp *PhysicalPlan, p *PhysicalPipeline) (*engine.Dataset[Item], error) {
 	// The CoBlock and custom-Iterate paths pull their own branch streams.
 	if p.Impl == IterCoBlockPairs {
+		if p.Broadcast {
+			return ex.broadcastCoBlock(pp, p)
+		}
 		cg, err := ex.coGroupBranches(pp, p.Branches)
 		if err != nil {
 			return nil, err
@@ -378,6 +386,9 @@ func (ex *sparkExec) items(pp *PhysicalPlan, p *PhysicalPipeline) (*engine.Datas
 
 	case IterUniquePairs:
 		if b := p.Branches[0].Block; b != nil {
+			if p.Broadcast {
+				return ex.broadcastPairs(first, b, true)
+			}
 			grouped := ex.blocks(first, b)
 			return engine.FlatMap(grouped, func(g engine.Pair[model.ValueKey, []model.Tuple]) []Item {
 				return PairsUnique([][]model.Tuple{g.Value})
@@ -390,6 +401,9 @@ func (ex *sparkExec) items(pp *PhysicalPlan, p *PhysicalPipeline) (*engine.Datas
 
 	case IterOrderedPairs:
 		if b := p.Branches[0].Block; b != nil {
+			if p.Broadcast {
+				return ex.broadcastPairs(first, b, false)
+			}
 			grouped := ex.blocks(first, b)
 			return engine.FlatMap(grouped, func(g engine.Pair[model.ValueKey, []model.Tuple]) []Item {
 				return PairsOrdered([][]model.Tuple{g.Value})
@@ -403,6 +417,101 @@ func (ex *sparkExec) items(pp *PhysicalPlan, p *PhysicalPipeline) (*engine.Datas
 	default:
 		return nil, fmt.Errorf("core: pipeline %s: unknown iterate implementation", p.RuleID)
 	}
+}
+
+// groupLocal collects a branch stream and groups it by its block key in
+// first-seen order — the broadcast (collect-locally) alternative's grouping,
+// deterministic without a shuffle stage.
+func groupLocal(ts []model.Tuple, block BlockFunc) [][]model.Tuple {
+	idx := make(map[model.ValueKey]int)
+	var bags [][]model.Tuple
+	for _, t := range ts {
+		k := block(t).MapKey()
+		i, ok := idx[k]
+		if !ok {
+			i = len(bags)
+			idx[k] = i
+			bags = append(bags, nil)
+		}
+		bags[i] = append(bags[i], t)
+	}
+	return bags
+}
+
+// broadcastPairs is the collect-locally variant of the blocked pair
+// enumerations: the scoped stream is gathered onto the driver, grouped
+// there, and the per-block pairs are parallelized back out. Chosen by the
+// cost-based planner when the relation is small enough that shuffle-stage
+// setup dominates.
+func (ex *sparkExec) broadcastPairs(first *engine.Dataset[model.Tuple], block BlockFunc, unique bool) (*engine.Dataset[Item], error) {
+	ts, err := first.Collect()
+	if err != nil {
+		return nil, err
+	}
+	var items []Item
+	for _, bag := range groupLocal(ts, block) {
+		if unique {
+			items = append(items, PairsUnique([][]model.Tuple{bag})...)
+		} else {
+			items = append(items, PairsOrdered([][]model.Tuple{bag})...)
+		}
+	}
+	return engine.Parallelize(ex.ctx, items, 0), nil
+}
+
+// broadcastCoBlock is the collect-locally variant of CoBlock: both branch
+// streams are gathered, grouped by their keys, and paired across bags per
+// shared key (left keys in first-seen order).
+func (ex *sparkExec) broadcastCoBlock(pp *PhysicalPlan, p *PhysicalPipeline) (*engine.Dataset[Item], error) {
+	if len(p.Branches) < 2 {
+		return nil, fmt.Errorf("core: CoBlock needs two branches")
+	}
+	lb, rb := p.Branches[0].Block, p.Branches[1].Block
+	if lb == nil || rb == nil {
+		return nil, fmt.Errorf("core: CoBlock requires Block on both branches")
+	}
+	left, err := ex.branchStream(pp, p.Branches[0])
+	if err != nil {
+		return nil, err
+	}
+	right, err := ex.branchStream(pp, p.Branches[1])
+	if err != nil {
+		return nil, err
+	}
+	lts, err := left.Collect()
+	if err != nil {
+		return nil, err
+	}
+	rts, err := right.Collect()
+	if err != nil {
+		return nil, err
+	}
+	rbags := make(map[model.ValueKey][]model.Tuple)
+	for _, t := range rts {
+		k := rb(t).MapKey()
+		rbags[k] = append(rbags[k], t)
+	}
+	type bagPair struct {
+		l []model.Tuple
+		r []model.Tuple
+	}
+	idx := make(map[model.ValueKey]int)
+	var bags []bagPair
+	for _, t := range lts {
+		k := lb(t).MapKey()
+		i, ok := idx[k]
+		if !ok {
+			i = len(bags)
+			idx[k] = i
+			bags = append(bags, bagPair{r: rbags[k]})
+		}
+		bags[i].l = append(bags[i].l, t)
+	}
+	var items []Item
+	for _, bp := range bags {
+		items = append(items, PairsAcross([][]model.Tuple{bp.l, bp.r})...)
+	}
+	return engine.Parallelize(ex.ctx, items, 0), nil
 }
 
 // coGroupBranches keys the first two branches and co-groups them.
@@ -451,17 +560,18 @@ func dedupeResult(r *DetectResult) {
 	r.FixSets = outF
 }
 
-// compilePlan runs a logical planner and Optimize under one plan span, so
-// a tracer sees how long logical->physical compilation took and what the
-// optimizer decided (pipeline count, consolidated shared scans).
-func compilePlan(ctx *engine.Context, plan func() (*LogicalPlan, error)) (*PhysicalPlan, error) {
+// compilePlan runs a logical planner and the physical Planner under one
+// plan span, so a tracer sees how long logical->physical compilation took
+// and what the planner decided (pipeline count, consolidated shared scans).
+// A nil Planner resolves via the context's PlannerMode (static by default).
+func compilePlan(ctx *engine.Context, pl *Planner, plan func() (*LogicalPlan, error)) (*PhysicalPlan, error) {
 	sp := ctx.Observer().BeginSpan(nil, "compile", engine.SpanPlan)
 	defer sp.End()
 	lp, err := plan()
 	if err != nil {
 		return nil, err
 	}
-	pp, err := Optimize(lp)
+	pp, err := plannerFor(ctx, pl).Plan(lp)
 	if err != nil {
 		return nil, err
 	}
@@ -470,10 +580,16 @@ func compilePlan(ctx *engine.Context, plan func() (*LogicalPlan, error)) (*Physi
 	return pp, nil
 }
 
-// DetectRule is the convenience entry point: plan, optimize and run one
-// rule over a relation on the dataflow backend.
+// DetectRule is the convenience entry point: plan and run one rule over a
+// relation on the dataflow backend, under the context's planner mode.
 func DetectRule(ctx *engine.Context, r *Rule, rel *model.Relation) (*DetectResult, error) {
-	pp, err := compilePlan(ctx, func() (*LogicalPlan, error) { return PlanRule(r, rel) })
+	return DetectRuleWith(ctx, nil, r, rel)
+}
+
+// DetectRuleWith is DetectRule with an explicit Planner (nil falls back to
+// the context's planner mode).
+func DetectRuleWith(ctx *engine.Context, pl *Planner, r *Rule, rel *model.Relation) (*DetectResult, error) {
+	pp, err := compilePlan(ctx, pl, func() (*LogicalPlan, error) { return PlanRule(r, rel) })
 	if err != nil {
 		return nil, err
 	}
@@ -483,16 +599,28 @@ func DetectRule(ctx *engine.Context, r *Rule, rel *model.Relation) (*DetectResul
 // DetectRules plans all rules over one relation as a single consolidated
 // plan and runs it.
 func DetectRules(ctx *engine.Context, rs []*Rule, rel *model.Relation) (*DetectResult, error) {
-	pp, err := compilePlan(ctx, func() (*LogicalPlan, error) { return PlanRules(rs, rel) })
+	return DetectRulesWith(ctx, nil, rs, rel)
+}
+
+// DetectRulesWith is DetectRules with an explicit Planner (nil falls back
+// to the context's planner mode).
+func DetectRulesWith(ctx *engine.Context, pl *Planner, rs []*Rule, rel *model.Relation) (*DetectResult, error) {
+	pp, err := compilePlan(ctx, pl, func() (*LogicalPlan, error) { return PlanRules(rs, rel) })
 	if err != nil {
 		return nil, err
 	}
 	return RunPlanSpark(ctx, pp)
 }
 
-// RunJobSpark validates, plans, optimizes and executes a job.
+// RunJobSpark validates, plans and executes a job.
 func RunJobSpark(ctx *engine.Context, j *Job) (*DetectResult, error) {
-	pp, err := compilePlan(ctx, func() (*LogicalPlan, error) { return BuildPlan(j) })
+	return RunJobSparkWith(ctx, nil, j)
+}
+
+// RunJobSparkWith is RunJobSpark with an explicit Planner (nil falls back
+// to the context's planner mode).
+func RunJobSparkWith(ctx *engine.Context, pl *Planner, j *Job) (*DetectResult, error) {
+	pp, err := compilePlan(ctx, pl, func() (*LogicalPlan, error) { return BuildPlan(j) })
 	if err != nil {
 		return nil, err
 	}

@@ -28,7 +28,7 @@ import (
 // Detect. Derived streams, CoBlock, OCJoin, custom Iterates, unblocked
 // cross products and transforming or chained Scopes all fall back.
 func (ex *sparkExec) vecEligible(p *PhysicalPipeline) bool {
-	if ex.batchSize <= 0 || p.Vec == nil || len(p.Branches) != 1 {
+	if ex.batchSize <= 0 || p.Vec == nil || p.Broadcast || len(p.Branches) != 1 {
 		return false
 	}
 	b := p.Branches[0]
@@ -230,7 +230,7 @@ func rechunk(pre []*model.Batch, size int) []*model.Batch {
 // once and the tuple path runs, so the result is identical either way.
 // rel carries the schema and name; its Tuples may be empty.
 func DetectRuleOnBatches(ctx *engine.Context, r *Rule, rel *model.Relation, batches []*model.Batch) (*DetectResult, error) {
-	pp, err := compilePlan(ctx, func() (*LogicalPlan, error) { return PlanRule(r, rel) })
+	pp, err := compilePlan(ctx, nil, func() (*LogicalPlan, error) { return PlanRule(r, rel) })
 	if err != nil {
 		return nil, err
 	}

@@ -191,7 +191,7 @@ func TestVecEligibilityFallbacks(t *testing.T) {
 
 	mustPlan := func(r *Rule) *PhysicalPipeline {
 		t.Helper()
-		pp, err := compilePlan(ex.ctx, func() (*LogicalPlan, error) { return PlanRule(r, rel) })
+		pp, err := compilePlan(ex.ctx, nil, func() (*LogicalPlan, error) { return PlanRule(r, rel) })
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -27,6 +27,9 @@ import (
 type IncrementalDetector struct {
 	ctx   *engine.Context
 	rules []*Rule
+	// planner, when non-nil, plans the full and block-local re-detections
+	// (see SetPlanner); nil falls back to the context's planner mode.
+	planner *Planner
 
 	// state per incremental rule index.
 	state map[int]*ruleState
@@ -64,6 +67,11 @@ func NewIncrementalDetector(ctx *engine.Context, rules []*Rule) (*IncrementalDet
 	}
 	return &IncrementalDetector{ctx: ctx, rules: rules, state: map[int]*ruleState{}}, nil
 }
+
+// SetPlanner installs the physical Planner the detector's re-detections
+// use (nil keeps the context's planner mode). Long-lived sessions pass
+// their feedback-fed planner here so every pass re-plans on measured costs.
+func (d *IncrementalDetector) SetPlanner(pl *Planner) { d.planner = pl }
 
 // incrementalizable reports whether a rule supports block-incremental
 // maintenance.
@@ -171,7 +179,7 @@ func (d *IncrementalDetector) refreshFull(rel *model.Relation) error {
 		if incrementalizable(r) {
 			continue
 		}
-		sub, err := DetectRule(d.ctx, r, rel)
+		sub, err := DetectRuleWith(d.ctx, d.planner, r, rel)
 		if err != nil {
 			return err
 		}
@@ -202,14 +210,14 @@ func (d *IncrementalDetector) prime(rel *model.Relation, deferFull bool) error {
 			if deferFull {
 				continue
 			}
-			sub, err := DetectRule(d.ctx, r, rel)
+			sub, err := DetectRuleWith(d.ctx, d.planner, r, rel)
 			if err != nil {
 				return err
 			}
 			d.full = append(d.full, sub.FixSets...)
 			continue
 		}
-		sub, err := DetectRule(d.ctx, r, rel)
+		sub, err := DetectRuleWith(d.ctx, d.planner, r, rel)
 		if err != nil {
 			return err
 		}
@@ -283,7 +291,7 @@ func (d *IncrementalDetector) incrementalPass(idx int, r *Rule, rel *model.Relat
 		delete(st.byBlock, k)
 	}
 	if sub.Len() > 0 {
-		res, err := DetectRule(d.ctx, r, sub)
+		res, err := DetectRuleWith(d.ctx, d.planner, r, sub)
 		if err != nil {
 			return err
 		}

@@ -48,12 +48,21 @@ func (i IterImpl) String() string {
 	}
 }
 
-// PhysicalPipeline is a pipeline plus the optimizer's physical choices.
+// PhysicalPipeline is a pipeline plus the planner's physical choices.
 type PhysicalPipeline struct {
 	Pipeline
 	Impl IterImpl
+	// Broadcast marks the collect-locally variants: the scoped stream(s)
+	// are gathered onto one node and grouped there instead of through a
+	// shuffle stage. Chosen by the cost model for tiny relations.
+	Broadcast bool
 	// Ops lists the physical operator sequence for EXPLAIN-style output.
 	Ops []string
+	// EstCost is the planner's estimate for the chosen alternative;
+	// Alternatives keeps every legal alternative it priced (chosen and
+	// rejected) so EXPLAIN can audit the decision.
+	EstCost      Cost
+	Alternatives []PlanAlternative
 }
 
 // PhysicalPlan is the optimized executable plan.
@@ -73,63 +82,24 @@ type PhysicalPlan struct {
 //   - symmetric blocked rules take UCrossProduct within blocks;
 //   - asymmetric blocked rules fall back to ordered pairs;
 //   - user Iterates are wrapped unchanged.
+//
+// Deprecated: Optimize is the legacy rule-shape translation. Use
+// NewPlanner().Plan(lp) — the default static cost model reproduces these
+// choices exactly, and NewPlanner(WithCostModel(NewCostModel())) plans
+// from statistics instead.
 func Optimize(lp *LogicalPlan) (*PhysicalPlan, error) {
-	lp = Consolidate(lp)
-	pp := &PhysicalPlan{Name: lp.Name, Logical: lp, SharedScans: lp.SharedScans}
-	for _, p := range lp.Pipelines {
-		phys := PhysicalPipeline{Pipeline: p}
-		var ops []string
-		for _, b := range p.Branches {
-			if len(b.Scopes) > 0 {
-				ops = append(ops, "PScope")
-			}
-		}
-		switch {
-		case p.Unary:
-			phys.Impl = IterSingles
-		case p.Iterate != nil:
-			phys.Impl = IterCustom
-			if len(p.Branches) > 1 {
-				ops = append(ops, "Co-Block")
-			} else if p.Branches[0].Block != nil {
-				ops = append(ops, "PBlock")
-			}
-		case len(p.OrderConds) > 0:
-			phys.Impl = IterOCJoin
-		case len(p.Branches) > 1:
-			phys.Impl = IterCoBlockPairs
-			for _, b := range p.Branches {
-				if b.Block == nil {
-					return nil, fmt.Errorf("core: pipeline %s: CoBlock branches must all have Block operators", p.RuleID)
-				}
-			}
-		case p.Branches[0].Block != nil && p.Symmetric:
-			phys.Impl = IterUniquePairs
-			ops = append(ops, "PBlock")
-		case p.Branches[0].Block != nil:
-			phys.Impl = IterOrderedPairs
-			ops = append(ops, "PBlock")
-		case p.Symmetric:
-			phys.Impl = IterUniquePairs
-		default:
-			phys.Impl = IterOrderedPairs
-		}
-		ops = append(ops, phys.Impl.String(), "PDetect")
-		if p.GenFix != nil {
-			ops = append(ops, "PGenFix")
-		}
-		phys.Ops = ops
-		pp.Pipelines = append(pp.Pipelines, phys)
-	}
-	return pp, nil
+	return NewPlanner().Plan(lp)
 }
 
-// Explain renders the physical plan, one pipeline per line.
+// Explain renders the physical plan: one operator-sequence line per
+// pipeline, followed (when the planner kept them) by the priced
+// alternatives — chosen and rejected — of each decision.
 func (pp *PhysicalPlan) Explain() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "plan %s (shared scans: %d)\n", pp.Name, pp.SharedScans)
 	for _, p := range pp.Pipelines {
 		fmt.Fprintf(&b, "  %s: %s\n", p.RuleID, strings.Join(p.Ops, " -> "))
+		explainAlternatives(&b, p)
 	}
 	return b.String()
 }

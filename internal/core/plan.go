@@ -25,6 +25,15 @@ type Branch struct {
 	Scopes []ScopeFunc
 	// Block keys the stream; nil means unkeyed.
 	Block BlockFunc
+	// BlockAttr optionally names the attribute Block keys on, for stats and
+	// EXPLAIN (see Rule.BlockAttr).
+	BlockAttr string
+	// AltBlocks are semantically valid alternative block keys the planner
+	// may substitute for Block (coarser keys for rules whose Detect
+	// re-checks the full predicate per pair); AltBlockAttrs names them
+	// position-for-position.
+	AltBlocks     []BlockFunc
+	AltBlockAttrs []string
 }
 
 // Derived is an upstream Iterate whose emitted units form a stream: the
@@ -182,7 +191,11 @@ func PlanRule(r *Rule, rel *model.Relation) (*LogicalPlan, error) {
 	if err := r.Validate(); err != nil {
 		return nil, err
 	}
-	b := Branch{Label: r.ID, Dataset: rel.Name, Block: r.Block}
+	b := Branch{
+		Label: r.ID, Dataset: rel.Name,
+		Block: r.Block, BlockAttr: r.BlockAttr,
+		AltBlocks: r.AltBlocks, AltBlockAttrs: r.AltBlockAttrs,
+	}
 	if r.Scope != nil {
 		b.Scopes = []ScopeFunc{r.Scope}
 	}

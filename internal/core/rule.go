@@ -53,6 +53,15 @@ type Rule struct {
 	// letting the storage manager push the Block operator down to a
 	// content-partitioned replica (Appendix F; see DetectRuleFromStore).
 	BlockAttr string
+	// AltBlocks lists alternative block keys the cost-based planner may
+	// substitute for Block. They must be semantically valid: every
+	// violation found under Block must also surface under each alternative
+	// (true for coarser keys when Detect re-checks the full predicate per
+	// pair, as the FD/CFD front ends do). AltBlockAttrs names them
+	// position-for-position for stats and EXPLAIN. The static planner
+	// ignores them.
+	AltBlocks     []BlockFunc
+	AltBlockAttrs []string
 
 	// Vec optionally carries vectorized forms of the rule's operators
 	// (a batch Scope kernel, a column-indexed block key, batch/blocked
@@ -87,6 +96,9 @@ func (r *Rule) Validate() error {
 	}
 	if r.BlockRight != nil && r.Block == nil {
 		return fmt.Errorf("core: rule %s sets BlockRight without Block", r.ID)
+	}
+	if len(r.AltBlocks) > 0 && r.Block == nil {
+		return fmt.Errorf("core: rule %s sets AltBlocks without Block", r.ID)
 	}
 	return nil
 }

@@ -383,6 +383,10 @@ type Context struct {
 	// batch path (see Config.BatchSize).
 	batchSize int
 
+	// plannerMode selects the physical planner of the detection layer (see
+	// Config.Planner); "" and PlannerStatic mean the legacy static choices.
+	plannerMode string
+
 	// mem arbitrates the memory budget; nil means unbounded, in which case
 	// every wide operator takes its in-memory fast path.
 	mem *spill.Manager
@@ -429,6 +433,13 @@ type Config struct {
 	// tuple datasets use the same operators.
 	BatchSize int
 
+	// Planner selects the physical planner the detection layer uses when no
+	// explicit core.Planner is supplied: PlannerStatic (or empty, the
+	// default) reproduces the legacy rule-shape choices; PlannerCost plans
+	// from sampled statistics with the cost-based model. The engine itself
+	// is agnostic — it only carries the setting, like BatchSize.
+	Planner string
+
 	// Backend selects the execution backend. BackendLocal (the zero value)
 	// is the in-process worker pool; BackendNet runs partition exchanges
 	// across separate OS worker processes over TCP (requires the netexec
@@ -451,6 +462,14 @@ type Config struct {
 	// coordinator with chaos hooks armed.
 	Exchange Exchange
 }
+
+// Planner modes carried by Config.Planner / Context.PlannerMode.
+const (
+	// PlannerStatic is the legacy rule-shape translation (the default).
+	PlannerStatic = "static"
+	// PlannerCost is the statistics-driven cost-based planner.
+	PlannerCost = "cost"
+)
 
 // New creates a Context with the given parallelism (number of workers) and
 // no memory budget. Non-positive parallelism defaults to GOMAXPROCS.
@@ -483,6 +502,14 @@ func NewContext(cfg Config) (*Context, error) {
 	c := &Context{parallelism: p}
 	if cfg.BatchSize > 0 {
 		c.batchSize = cfg.BatchSize
+	}
+	switch cfg.Planner {
+	case "", PlannerStatic:
+		c.plannerMode = PlannerStatic
+	case PlannerCost:
+		c.plannerMode = PlannerCost
+	default:
+		return nil, fmt.Errorf("engine: unknown planner %q (want %q or %q)", cfg.Planner, PlannerStatic, PlannerCost)
 	}
 	c.obs = &c.stats
 	if cfg.Observer != nil {
@@ -566,6 +593,28 @@ func (c *Context) SetBatchSize(n int) {
 		n = 0
 	}
 	c.batchSize = n
+}
+
+// PlannerMode returns the configured physical-planner mode (PlannerStatic
+// or PlannerCost; never empty).
+func (c *Context) PlannerMode() string {
+	if c.plannerMode == "" {
+		return PlannerStatic
+	}
+	return c.plannerMode
+}
+
+// SetPlannerMode sets the planner mode after construction, for layers
+// (cleanse sessions, serve) that receive the setting without building the
+// Context themselves. Unknown modes are ignored. Like AttachObserver, call
+// it before running any dataflow on the context.
+func (c *Context) SetPlannerMode(mode string) {
+	switch mode {
+	case "", PlannerStatic:
+		c.plannerMode = PlannerStatic
+	case PlannerCost:
+		c.plannerMode = PlannerCost
+	}
 }
 
 // MemoryBudget returns the configured wide-operator memory budget in bytes

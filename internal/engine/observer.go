@@ -132,6 +132,11 @@ const (
 	AttrAccepted
 	AttrExamples
 	AttrEpochs
+	// AttrPairs counts the candidate items a detection pipeline enumerated
+	// (one per Detect invocation; only measured when an Observer is
+	// installed). The cost-based planner feeds measured pair counts back
+	// into its estimates (core.FeedbackRecorder).
+	AttrPairs
 
 	// NumAttrs bounds the enum; implementations may use it to size arrays.
 	NumAttrs
@@ -202,6 +207,8 @@ func (a Attr) String() string {
 		return "examples"
 	case AttrEpochs:
 		return "epochs"
+	case AttrPairs:
+		return "pairs"
 	default:
 		return "attr"
 	}

@@ -1,6 +1,8 @@
 package rules
 
 import (
+	"fmt"
+	"reflect"
 	"testing"
 
 	"bigdansing/internal/core"
@@ -153,7 +155,7 @@ func TestDCCompileOrderingUsesOCJoin(t *testing.T) {
 		t.Fatalf("order conds = %v", rule.OrderConds)
 	}
 	lp, _ := core.PlanRule(rule, rel)
-	pp, err := core.Optimize(lp)
+	pp, err := core.NewPlanner().Plan(lp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -378,5 +380,196 @@ func TestCountyRule(t *testing.T) {
 	ids := res.Violations[0].TupleIDs()
 	if ids[0] != 1 || ids[1] != 2 {
 		t.Errorf("duplicate pair = %v", ids)
+	}
+}
+
+// legacyOptimize is a verbatim copy of the pre-planner core.Optimize rule
+// switch. The property test below pins the static planner to it: for every
+// rule family the chosen implementations must match, and the rendered Ops
+// may differ only by the partitioning markers the planner now names
+// (RangePartition for OCJoin, Co-Block for co-grouped pairs).
+func legacyOptimize(lp *core.LogicalPlan) (*core.PhysicalPlan, error) {
+	lp = core.Consolidate(lp)
+	pp := &core.PhysicalPlan{Name: lp.Name, Logical: lp, SharedScans: lp.SharedScans}
+	for _, p := range lp.Pipelines {
+		phys := core.PhysicalPipeline{Pipeline: p}
+		var ops []string
+		for _, b := range p.Branches {
+			if len(b.Scopes) > 0 {
+				ops = append(ops, "PScope")
+			}
+		}
+		switch {
+		case p.Unary:
+			phys.Impl = core.IterSingles
+		case p.Iterate != nil:
+			phys.Impl = core.IterCustom
+			if len(p.Branches) > 1 {
+				ops = append(ops, "Co-Block")
+			} else if p.Branches[0].Block != nil {
+				ops = append(ops, "PBlock")
+			}
+		case len(p.OrderConds) > 0:
+			phys.Impl = core.IterOCJoin
+		case len(p.Branches) > 1:
+			phys.Impl = core.IterCoBlockPairs
+			for _, b := range p.Branches {
+				if b.Block == nil {
+					return nil, fmt.Errorf("core: pipeline %s: CoBlock branches must all have Block operators", p.RuleID)
+				}
+			}
+		case p.Branches[0].Block != nil && p.Symmetric:
+			phys.Impl = core.IterUniquePairs
+			ops = append(ops, "PBlock")
+		case p.Branches[0].Block != nil:
+			phys.Impl = core.IterOrderedPairs
+			ops = append(ops, "PBlock")
+		case p.Symmetric:
+			phys.Impl = core.IterUniquePairs
+		default:
+			phys.Impl = core.IterOrderedPairs
+		}
+		ops = append(ops, phys.Impl.String(), "PDetect")
+		if p.GenFix != nil {
+			ops = append(ops, "PGenFix")
+		}
+		phys.Ops = ops
+		pp.Pipelines = append(pp.Pipelines, phys)
+	}
+	return pp, nil
+}
+
+// stripPlannerMarkers removes from ops exactly the occurrences of the new
+// partitioning markers that the legacy rendering lacked.
+func stripPlannerMarkers(ops, legacy []string) []string {
+	count := func(ss []string, m string) int {
+		n := 0
+		for _, s := range ss {
+			if s == m {
+				n++
+			}
+		}
+		return n
+	}
+	out := append([]string(nil), ops...)
+	for _, m := range []string{"RangePartition", "Co-Block"} {
+		for count(out, m) > count(legacy, m) {
+			for i, s := range out {
+				if s == m {
+					out = append(out[:i], out[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestStaticPlannerMatchesLegacyOptimize is the plan-identity property
+// test over the full FD/DC/CFD compilation suite.
+func TestStaticPlannerMatchesLegacyOptimize(t *testing.T) {
+	rel := taxRelation()
+	var suite []*core.Rule
+
+	fd1, _ := ParseFD("phi1", "zipcode -> city")
+	r1, err := fd1.Compile(rel.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fdM, _ := ParseFD("phiM", "city, state -> zipcode")
+	rM, err := fdM.Compile(rel.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcO, _ := ParseDC("phi2", "t1.rate > t2.rate & t1.salary < t2.salary")
+	rO, err := dcO.Compile(rel.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcE, _ := ParseDC("phi1dc", "t1.zipcode = t2.zipcode & t1.city != t2.city")
+	rE, err := dcE.Compile(rel.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcU, _ := ParseDC("cap", "t1.salary > 85000")
+	rU, err := dcU.Compile(rel.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfd, err := ParseCFD("cfd1", "zipcode -> city | 90210 => LA ; _ => _")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsC, err := cfd.Compile(rel.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite = append(suite, r1, rM, rO, rE, rU)
+	suite = append(suite, rsC...)
+
+	for _, r := range suite {
+		lpA, err := core.PlanRule(r, rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := legacyOptimize(lpA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lpB, err := core.PlanRule(r, rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := core.NewPlanner().Plan(lpB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Pipelines) != len(want.Pipelines) {
+			t.Fatalf("%s: pipelines %d != %d", r.ID, len(got.Pipelines), len(want.Pipelines))
+		}
+		for i := range got.Pipelines {
+			g, w := got.Pipelines[i], want.Pipelines[i]
+			if g.Impl != w.Impl {
+				t.Errorf("%s[%d]: impl %v != legacy %v", r.ID, i, g.Impl, w.Impl)
+			}
+			if len(g.Branches) != len(w.Branches) {
+				t.Errorf("%s[%d]: branches %d != legacy %d", r.ID, i, len(g.Branches), len(w.Branches))
+			}
+			if g.NumParts != w.NumParts {
+				t.Errorf("%s[%d]: parts %d != legacy %d", r.ID, i, g.NumParts, w.NumParts)
+			}
+			if g.Broadcast {
+				t.Errorf("%s[%d]: static plan broadcasts", r.ID, i)
+			}
+			if stripped := stripPlannerMarkers(g.Ops, w.Ops); !reflect.DeepEqual(stripped, w.Ops) {
+				t.Errorf("%s[%d]: ops %v != legacy %v", r.ID, i, g.Ops, w.Ops)
+			}
+		}
+	}
+
+	// The consolidated multi-rule plan must agree too.
+	lpA, err := core.PlanRules(suite, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := legacyOptimize(lpA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lpB, err := core.PlanRules(suite, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.NewPlanner().Plan(lpB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SharedScans != want.SharedScans || len(got.Pipelines) != len(want.Pipelines) {
+		t.Fatalf("multi-rule: scans %d/%d pipelines %d/%d", got.SharedScans, want.SharedScans, len(got.Pipelines), len(want.Pipelines))
+	}
+	for i := range got.Pipelines {
+		if got.Pipelines[i].Impl != want.Pipelines[i].Impl {
+			t.Errorf("multi-rule[%d]: impl %v != %v", i, got.Pipelines[i].Impl, want.Pipelines[i].Impl)
+		}
 	}
 }

@@ -97,6 +97,9 @@ type stream struct {
 	schema  *model.Schema
 	session *cleanse.Session
 	tracer  *trace.Tracer
+	// planner is the session's cost-based planner (nil for static); its
+	// History feeds the /explain audit.
+	planner *core.Planner
 
 	mu      sync.Mutex
 	closing bool
@@ -196,6 +199,11 @@ type createRequest struct {
 	// NetWorkers is the worker-process count for the net backend
 	// (<=0: the engine default of 2).
 	NetWorkers int `json:"netWorkers,omitempty"`
+	// Planner selects the physical planner: "static" (default, the legacy
+	// rule-shape choices) or "cost" (statistics-driven, refined every flush
+	// from the session's own measured pipeline stats). Cost-planned
+	// sessions expose their chosen-vs-rejected decisions in /explain.
+	Planner string `json:"planner,omitempty"`
 }
 
 type reportJSON struct {
@@ -309,10 +317,32 @@ func (s *Server) open(name string, req createRequest) (*stream, error) {
 		return nil, err
 	}
 	tracer := trace.New()
+	var observer engine.Observer = tracer
+	// A cost-planned session carries its own FeedbackRecorder teed into the
+	// observer: every flush re-plans against the pipeline stats (pairs,
+	// violations) the previous flush measured, so long-lived sessions
+	// converge on measured costs.
+	var planner *core.Planner
+	switch req.Planner {
+	case "", engine.PlannerStatic:
+	case engine.PlannerCost:
+		rec := core.NewFeedbackRecorder()
+		planner = core.NewPlanner(
+			core.WithCostModel(core.NewCostModel()),
+			core.WithObserverFeedback(rec),
+			core.WithParallelism(s.cfg.Workers),
+		)
+		observer = engine.Tee(tracer, rec)
+	default:
+		return nil, fmt.Errorf("unknown planner %q (want %s or %s)", req.Planner, engine.PlannerStatic, engine.PlannerCost)
+	}
 	opts := []cleanse.Option{
-		cleanse.WithObserver(tracer),
+		cleanse.WithObserver(observer),
 		cleanse.WithMaxIterations(req.MaxIterations),
 		cleanse.WithFreezeAfter(req.FreezeAfter),
+	}
+	if planner != nil {
+		opts = append(opts, cleanse.WithPlanner(planner))
 	}
 	algoName := req.Algorithm
 	if algoName == "" {
@@ -363,6 +393,7 @@ func (s *Server) open(name string, req createRequest) (*stream, error) {
 		schema:  schema,
 		session: sess,
 		tracer:  tracer,
+		planner: planner,
 		ops:     make(chan func(), s.cfg.QueueDepth),
 		done:    make(chan struct{}),
 	}
@@ -656,6 +687,13 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	var terr error
 	err := st.run(func() {
 		var sb strings.Builder
+		if st.planner != nil {
+			sb.WriteString("planner decisions:\n")
+			for _, h := range st.planner.History() {
+				sb.WriteString(h)
+			}
+			sb.WriteString("\n")
+		}
 		terr = trace.WriteTree(&sb, st.tracer)
 		buf = []byte(sb.String())
 	})

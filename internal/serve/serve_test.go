@@ -414,3 +414,55 @@ func TestServeProbSession(t *testing.T) {
 		}
 	}
 }
+
+// TestServeCostPlannerSession creates a session with "planner":"cost",
+// flushes, and checks the explain audit includes planner decisions.
+func TestServeCostPlannerSession(t *testing.T) {
+	srv := New(Config{Workers: 2, QueueDepth: 8})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	req := createRequest{
+		Schema: taxSchema,
+		Rules: []ruleSpec{
+			{ID: "phi1", Kind: "fd", Spec: "zipcode -> city"},
+		},
+		Planner: "cost",
+	}
+	b, _ := json.Marshal(req)
+	code, body := do(t, c, "POST", ts.URL+"/sessions/cp", string(b))
+	if code != http.StatusCreated {
+		t.Fatalf("create: %d %s", code, body)
+	}
+
+	all := rows(4, 6, 2)
+	rb, _ := json.Marshal(map[string]any{"tuples": all})
+	if code, body := do(t, c, "POST", ts.URL+"/sessions/cp/ingest", string(rb)); code != http.StatusAccepted {
+		t.Fatalf("ingest: %d %s", code, body)
+	}
+	code, body = do(t, c, "POST", ts.URL+"/sessions/cp/flush", "")
+	if code != http.StatusOK {
+		t.Fatalf("flush: %d %s", code, body)
+	}
+	var rep reportJSON
+	json.Unmarshal(body, &rep)
+	if rep.InitialViolations == 0 || rep.RemainingViolations != 0 {
+		t.Errorf("cost-planned flush should still repair: %+v", rep)
+	}
+
+	code, body = do(t, c, "GET", ts.URL+"/sessions/cp/explain", "")
+	if code != http.StatusOK {
+		t.Fatalf("explain: %d", code)
+	}
+	if !bytes.Contains(body, []byte("planner decisions:")) {
+		t.Errorf("explain should include planner audit:\n%s", body)
+	}
+
+	// Unknown planner is rejected at create.
+	req.Planner = "bogus"
+	b, _ = json.Marshal(req)
+	if code, body := do(t, c, "POST", ts.URL+"/sessions/bad", string(b)); code != http.StatusBadRequest {
+		t.Errorf("bogus planner create: %d %s", code, body)
+	}
+}
